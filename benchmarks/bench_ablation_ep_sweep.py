@@ -1,0 +1,71 @@
+"""Ablation — eager-prediction (top-k, q_th) sweep on DiT.
+
+Table I fixes (q_th, k) per model empirically. This sweep exposes the
+trade-off: smaller k (keep less) and smaller q_th (collapse more rows)
+increase intra-iteration sparsity at an accuracy cost.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.report import format_table, percent
+from repro.core.config import ExionConfig
+from repro.core.pipeline import ExionPipeline
+from repro.models.zoo import build_model
+from repro.workloads.metrics import psnr
+
+from .conftest import emit
+
+
+def run_point(model, vanilla, top_k, q_th):
+    cfg = replace(
+        ExionConfig.for_model("dit", enable_ffn_reuse=False),
+        top_k_ratio=top_k,
+        q_threshold=q_th,
+    )
+    result = ExionPipeline(model, cfg).generate(seed=1, class_label=5)
+    return {
+        "top_k": top_k,
+        "q_th": q_th,
+        "sparsity": result.stats.attention_output_sparsity,
+        "psnr": psnr(vanilla.sample, result.sample),
+        "kv_skip": result.stats.kv_projection_skip_rate,
+    }
+
+
+def test_ablation_ep_sweep(benchmark):
+    model = build_model("dit", seed=0, total_iterations=18)
+    vanilla = ExionPipeline(
+        model, ExionConfig.for_model("dit")
+    ).generate_vanilla(seed=1, class_label=5)
+
+    points = [
+        run_point(model, vanilla, top_k, q_th)
+        for top_k in (0.8, 0.4, 0.1)
+        for q_th in (1e9, 0.5)
+    ]
+    emit(format_table(
+        ["top-k", "q_th", "attn sparsity", "KV-proj skip", "PSNR"],
+        [
+            [
+                p["top_k"],
+                "inf" if p["q_th"] > 1e6 else p["q_th"],
+                percent(p["sparsity"]),
+                percent(p["kv_skip"]),
+                f"{p['psnr']:.2f} dB",
+            ]
+            for p in points
+        ],
+        title="Ablation — EP (top-k, q_th) sweep on DiT",
+    ))
+
+    # Smaller k -> more sparsity (paper II-B: 20-95% across configs).
+    no_dominance = [p for p in points if p["q_th"] > 1e6]
+    sparsities = [p["sparsity"] for p in no_dominance]
+    assert sparsities == sorted(sparsities)
+    # Keeping more yields better accuracy.
+    assert no_dominance[0]["psnr"] >= no_dominance[-1]["psnr"] - 0.5
+    # Enabling dominance skipping adds sparsity at fixed k.
+    for i in range(0, len(points), 2):
+        assert points[i + 1]["sparsity"] >= points[i]["sparsity"] - 1e-9
+
+    benchmark(run_point, model, vanilla, 0.4, 0.5)

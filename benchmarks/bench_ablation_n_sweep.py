@@ -1,0 +1,57 @@
+"""Ablation — sweeping the FFN-Reuse period N on DiT.
+
+The paper fixes N per model (Table I) after empirical search. This sweep
+shows the trade-off that search navigates: larger N skips more FFN work
+but drifts further from the vanilla output.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table, percent
+from repro.core.config import ExionConfig
+from repro.core.pipeline import ExionPipeline
+from repro.models.zoo import build_model
+from repro.workloads.metrics import psnr
+
+from .conftest import emit
+
+
+def sweep_point(model, vanilla, n):
+    cfg = ExionConfig.for_model("dit", enable_eager_prediction=False)
+    from dataclasses import replace
+
+    cfg = replace(cfg, sparse_iters_n=n)
+    result = ExionPipeline(model, cfg).generate(seed=1, class_label=5)
+    return {
+        "n": n,
+        "psnr": psnr(vanilla.sample, result.sample),
+        "ops_reduction": result.stats.ffn_ops_reduction,
+    }
+
+
+def test_ablation_n_sweep(benchmark):
+    model = build_model("dit", seed=0, total_iterations=24)
+    vanilla = ExionPipeline(
+        model, ExionConfig.for_model("dit")
+    ).generate_vanilla(seed=1, class_label=5)
+
+    points = [sweep_point(model, vanilla, n) for n in (0, 1, 2, 4, 8)]
+    emit(format_table(
+        ["N (sparse iters)", "FFN ops reduction", "PSNR vs vanilla"],
+        [
+            [p["n"], percent(p["ops_reduction"]), f"{p['psnr']:.2f} dB"]
+            for p in points
+        ],
+        title="Ablation — FFN-Reuse period N on DiT (paper uses N=2)",
+    ))
+
+    # N=0 is exact (all iterations dense).
+    assert points[0]["ops_reduction"] == 0.0
+    assert points[0]["psnr"] == float("inf")
+    # Ops reduction grows monotonically with N.
+    reductions = [p["ops_reduction"] for p in points]
+    assert reductions == sorted(reductions)
+    # Accuracy degrades as N grows (weak monotonicity with tolerance).
+    assert points[-1]["psnr"] <= points[1]["psnr"] + 1.0
+
+    benchmark(sweep_point, model, vanilla, 2)

@@ -1,0 +1,41 @@
+"""Fig. 4 — operation-count breakdown per benchmark model.
+
+Regenerates the per-iteration operation totals and category shares (QKV
+projection / attention / FFN / etc.) for all seven models, alongside the
+paper's reported totals and transformer shares.
+"""
+
+from repro.analysis.opcount import operation_breakdown_table
+from repro.analysis.report import format_table, percent
+
+from .conftest import emit
+
+
+def test_fig04_operation_breakdown(benchmark):
+    rows = benchmark(operation_breakdown_table)
+    table = format_table(
+        ["model", "total ops/iter", "paper", "qkv", "attn", "ffn", "etc",
+         "transformer", "paper tx"],
+        [
+            [
+                r["model"],
+                f"{r['total_ops']:.2e}",
+                f"{r['paper_total_ops']:.1e}",
+                percent(r["qkv_share"]),
+                percent(r["attention_share"]),
+                percent(r["ffn_share"]),
+                percent(r["etc_share"]),
+                percent(r["transformer_share"]),
+                percent(r["paper_transformer_share"]),
+            ]
+            for r in rows
+        ],
+        title="Fig. 4 — number-of-operations breakdown (per iteration)",
+    )
+    emit(table)
+
+    # Shape assertions: transformer shares match the paper's figure and
+    # FFN is the dominant transformer category everywhere.
+    for r in rows:
+        assert abs(r["transformer_share"] - r["paper_transformer_share"]) < 0.03
+        assert r["ffn_share_of_transformer"] >= 0.4

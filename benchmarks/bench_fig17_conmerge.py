@@ -1,0 +1,58 @@
+"""Fig. 17 — ConMerge efficiency across all seven models.
+
+For the 1st FFN layer and the attention score of every model, reports the
+remaining-column percentage after condensing and after merging. Paper
+averages: FFN 60.3% (condense) -> 16.2% (merge); attention 80.0% -> 50.0%.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, percent
+from repro.workloads.specs import BENCHMARK_ORDER, get_spec
+
+from .conftest import emit
+
+
+def test_fig17_conmerge_efficiency(benchmark, profiles):
+    rows = []
+    for name in BENCHMARK_ORDER:
+        spec = get_spec(name)
+        p = profiles[name]
+        rows.append(
+            [
+                spec.display_name,
+                percent(p.ffn_condense_ratio),
+                percent(p.ffn_remaining_ratio),
+                percent(p.attn_condense_ratio),
+                percent(p.attn_remaining_ratio),
+            ]
+        )
+    ffn_cond = np.mean([profiles[n].ffn_condense_ratio for n in BENCHMARK_ORDER])
+    ffn_rem = np.mean([profiles[n].ffn_remaining_ratio for n in BENCHMARK_ORDER])
+    attn_cond = np.mean([profiles[n].attn_condense_ratio for n in BENCHMARK_ORDER])
+    attn_rem = np.mean([profiles[n].attn_remaining_ratio for n in BENCHMARK_ORDER])
+    rows.append(
+        ["AVERAGE", percent(ffn_cond), percent(ffn_rem),
+         percent(attn_cond), percent(attn_rem)]
+    )
+    rows.append(["paper avg", "60.3%", "16.2%", "80.0%", "50.0%"])
+
+    table = format_table(
+        ["model", "FFN condense", "FFN +merge", "attn condense",
+         "attn +merge"],
+        rows,
+        title="Fig. 17 — remaining columns after condensing / merging",
+    )
+    emit(table)
+
+    # Shape: merging always improves on condensing; FFN compacts further
+    # than attention (paper's averages 16.2% vs 50.0%).
+    for name in BENCHMARK_ORDER:
+        p = profiles[name]
+        assert p.ffn_remaining_ratio <= p.ffn_condense_ratio + 1e-9
+        assert p.attn_remaining_ratio <= p.attn_condense_ratio + 1e-9
+    assert ffn_rem < attn_rem
+
+    from repro.hw.profile import estimate_profile
+
+    benchmark(estimate_profile, get_spec("dit"), 1)

@@ -1,0 +1,91 @@
+"""Fig. 18 — energy-efficiency comparison versus edge and server GPUs.
+
+Reproduces both panels with the full ablation ladder (Base / EP / FFNR /
+All) at batch sizes one and eight:
+
+- (a) EXION4 versus the Jetson Orin Nano on the edge-deployable models
+  (paper gains: 196.9-4668.2x for the All configuration, batch 1);
+- (b) EXION24 versus the RTX 6000 Ada on all seven models
+  (paper gains: 45.1-3067.6x).
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines.gpu import GPUModel
+from repro.baselines.specs import EDGE_GPU, SERVER_GPU
+from repro.hw.accelerator import ExionAccelerator
+from repro.workloads.specs import BENCHMARK_ORDER, get_spec
+
+from .conftest import emit
+
+EDGE_MODELS = ("mld", "mdm", "edge", "make_an_audio")
+ABLATIONS = (
+    ("Base", False, False),
+    ("EP", False, True),
+    ("FFNR", True, False),
+    ("All", True, True),
+)
+
+
+def efficiency_rows(accelerator, gpu_model, models, profiles, batch):
+    rows = []
+    gains_all = {}
+    for name in models:
+        spec = get_spec(name)
+        gpu = gpu_model.simulate(spec, batch=batch)
+        cells = [spec.display_name]
+        for label, ffnr, ep in ABLATIONS:
+            report = accelerator.simulate(
+                spec, profiles[name], enable_ffn_reuse=ffnr,
+                enable_eager_prediction=ep, batch=batch,
+            )
+            gain = report.tops_per_watt / gpu.tops_per_watt
+            cells.append(f"{gain:.0f}x")
+            if label == "All":
+                gains_all[name] = gain
+        cells.append(f"{gpu.tops_per_watt:.4f}")
+        rows.append(cells)
+    return rows, gains_all
+
+
+HEADERS = ["model", "Base", "EP", "FFNR", "All", "GPU TOPS/W"]
+
+
+def test_fig18a_edge(benchmark, profiles):
+    ex4 = ExionAccelerator.exion4()
+    gpu = GPUModel(EDGE_GPU)
+    for batch in (1, 8):
+        rows, gains = efficiency_rows(ex4, gpu, EDGE_MODELS, profiles, batch)
+        emit(format_table(
+            HEADERS, rows,
+            title=(f"Fig. 18 (a) — energy-efficiency gain vs edge GPU, "
+                   f"batch={batch} (paper All-range 196.9-4668.2x @ b1)"),
+        ))
+        for name, gain in gains.items():
+            assert gain > 5.0, (name, batch, gain)
+
+    benchmark(
+        ex4.simulate, get_spec("mld"), profiles["mld"],
+    )
+
+
+def test_fig18b_server(benchmark, profiles):
+    ex24 = ExionAccelerator.exion24()
+    gpu = GPUModel(SERVER_GPU)
+    for batch in (1, 8):
+        rows, gains = efficiency_rows(
+            ex24, gpu, BENCHMARK_ORDER, profiles, batch
+        )
+        emit(format_table(
+            HEADERS, rows,
+            title=(f"Fig. 18 (b) — energy-efficiency gain vs server GPU, "
+                   f"batch={batch} (paper All-range 45.1-3067.6x @ b1)"),
+        ))
+        for name, gain in gains.items():
+            assert gain > 5.0, (name, batch, gain)
+        # ResBlock models gain least (paper: Make-an-Audio / SD dip).
+        assert gains["stable_diffusion"] < gains["mdm"]
+        assert gains["mld"] == max(gains.values())
+
+    benchmark(
+        ex24.simulate, get_spec("dit"), profiles["dit"],
+    )

@@ -1,0 +1,76 @@
+"""Fig. 19 (a) — end-to-end latency versus edge and server GPUs.
+
+Paper speedups for the All configuration: EXION4 43.7-1060.6x over the
+edge GPU and EXION24 3.3-365.6x over the server GPU at batch one
+(42.6-1090.9x and 3.2-379.3x at batch eight).
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines.gpu import GPUModel
+from repro.baselines.specs import EDGE_GPU, SERVER_GPU
+from repro.hw.accelerator import ExionAccelerator
+from repro.workloads.specs import BENCHMARK_ORDER, get_spec
+
+from .conftest import emit
+
+EDGE_MODELS = ("mld", "mdm", "edge", "make_an_audio")
+
+
+def latency_rows(accelerator, gpu_model, models, profiles, batch):
+    rows = []
+    speedups = {}
+    for name in models:
+        spec = get_spec(name)
+        gpu = gpu_model.simulate(spec, batch=batch)
+        report = accelerator.simulate(spec, profiles[name], batch=batch)
+        speedup = gpu.latency_s / report.latency_s
+        speedups[name] = speedup
+        rows.append(
+            [
+                spec.display_name,
+                f"{gpu.latency_s * 1e3:.1f} ms",
+                f"{report.latency_s * 1e3:.3f} ms",
+                f"{speedup:.1f}x",
+            ]
+        )
+    return rows, speedups
+
+
+def test_fig19a_latency_edge(benchmark, profiles):
+    ex4 = ExionAccelerator.exion4()
+    gpu = GPUModel(EDGE_GPU)
+    for batch in (1, 8):
+        rows, speedups = latency_rows(ex4, gpu, EDGE_MODELS, profiles, batch)
+        emit(format_table(
+            ["model", "edge GPU", "EXION4_All", "speedup"],
+            rows,
+            title=(f"Fig. 19 (a) — latency vs edge GPU, batch={batch} "
+                   f"(paper 43.7-1060.6x @ b1)"),
+        ))
+        assert all(s > 1.0 for s in speedups.values())
+        if batch == 1:
+            assert max(speedups.values()) > 100.0  # MLD-class blowout
+            assert speedups["mld"] == max(speedups.values())
+
+    benchmark(gpu.simulate, get_spec("mld"))
+
+
+def test_fig19a_latency_server(benchmark, profiles):
+    ex24 = ExionAccelerator.exion24()
+    gpu = GPUModel(SERVER_GPU)
+    for batch in (1, 8):
+        rows, speedups = latency_rows(
+            ex24, gpu, BENCHMARK_ORDER, profiles, batch
+        )
+        emit(format_table(
+            ["model", "server GPU", "EXION24_All", "speedup"],
+            rows,
+            title=(f"Fig. 19 (a) — latency vs server GPU, batch={batch} "
+                   f"(paper 3.3-365.6x @ b1)"),
+        ))
+        assert all(s > 1.0 for s in speedups.values())
+        # Large conv-free/conv-heavy split: SD & VC2 gain least.
+        small = min(speedups["stable_diffusion"], speedups["videocrafter2"])
+        assert small == min(speedups.values())
+
+    benchmark(gpu.simulate, get_spec("dit"))

@@ -1,0 +1,80 @@
+"""Per-iteration execution timeline: the FFN-Reuse cadence in hardware.
+
+Not a paper figure, but the microarchitectural signature behind Fig. 18/19:
+dense iterations (full FFN compute, CAU vector generation, full weight
+working set) run measurably longer than the N sparse iterations between
+them, and iteration 0 additionally pays the DRAM weight fill.
+"""
+
+from repro.analysis.report import format_table
+from repro.hw.accelerator import ExionAccelerator
+from repro.hw.timeline import simulate_timeline
+from repro.workloads.specs import get_spec
+
+from .conftest import emit
+
+
+def test_iteration_timeline(benchmark, profiles):
+    spec = get_spec("dit")
+    acc = ExionAccelerator.exion24()
+    timeline = benchmark(
+        simulate_timeline, acc, spec, profiles["dit"], True, True, 1, 12
+    )
+
+    rows = []
+    for record in timeline.records:
+        rows.append(
+            [
+                record.index,
+                "dense" if record.is_dense else "sparse",
+                f"{record.latency_s * 1e6:.1f} us",
+                record.bound,
+                f"{record.macs_computed / 1e9:.2f} GMAC",
+            ]
+        )
+    emit(format_table(
+        ["iter", "phase", "latency", "bound", "computed"],
+        rows,
+        title="DiT on EXION24: per-iteration execution (N=2 schedule)",
+    ))
+    emit(
+        f"dense/sparse steady-state latency ratio: "
+        f"{timeline.dense_sparse_latency_ratio:.2f}x"
+    )
+
+    assert timeline.dense_sparse_latency_ratio > 1.1
+    assert timeline.records[0].latency_s == max(
+        r.latency_s for r in timeline.records
+    )
+
+
+def test_dram_stream_assumption(benchmark):
+    """Sanity bench for the stream-level DRAM model: sequential bursts
+    run near the per-channel interface rate, random bursts far below."""
+    from repro.hw.dram_detail import (
+        GDDR6_TIMINGS,
+        LPDDR5_TIMINGS,
+        validate_stream_assumption,
+    )
+
+    rows = []
+    for timings in (LPDDR5_TIMINGS, GDDR6_TIMINGS):
+        result = validate_stream_assumption(timings, megabytes=2)
+        rows.append(
+            [
+                timings.name,
+                f"{result['sequential_gbps']:.1f} GB/s",
+                f"{result['random_gbps']:.1f} GB/s",
+                f"{result['sequential_fraction_of_peak']:.1%}",
+                f"{result['sequential_hit_rate']:.1%}",
+            ]
+        )
+        assert result["sequential_fraction_of_peak"] > 0.9
+    emit(format_table(
+        ["device", "sequential", "random", "fraction of peak",
+         "row-hit rate"],
+        rows,
+        title="Banked-DRAM validation of the stream bandwidth assumption",
+    ))
+
+    benchmark(validate_stream_assumption, LPDDR5_TIMINGS, 1)

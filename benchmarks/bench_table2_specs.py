@@ -1,0 +1,48 @@
+"""Table II — hardware specifications of the GPUs and EXION instances."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.baselines.specs import EDGE_GPU, SERVER_GPU
+from repro.hw.accelerator import DSC_PEAK_TOPS, ExionAccelerator
+
+from .conftest import emit
+
+
+def test_table2_specifications(benchmark):
+    ex4 = ExionAccelerator.exion4()
+    ex24 = ExionAccelerator.exion24()
+
+    rows = [
+        ["Jetson Orin Nano (edge GPU)", "40.0 TOPS", "68 GB/s", "~15 W"],
+        ["RTX 6000 Ada (server GPU)", "91.1 TFLOPS", "960 GB/s", "~300 W"],
+        [
+            "EXION4 (4 DSCs)",
+            f"{ex4.peak_tops:.1f} TOPS",
+            f"{ex4.dram.bandwidth_gbps:.0f} GB/s",
+            f"~{ex4.peak_power_w:.2f} W",
+        ],
+        [
+            "EXION24 (24 DSCs)",
+            f"{ex24.peak_tops:.1f} TOPS",
+            f"{ex24.dram.bandwidth_gbps:.0f} GB/s",
+            f"~{ex24.peak_power_w:.2f} W",
+        ],
+    ]
+    emit(format_table(
+        ["device", "throughput", "memory bandwidth", "power"],
+        rows,
+        title="Table II — hardware specifications",
+    ))
+
+    # Paper values: EXION4 39.2 TOPS / 51 GB/s / ~3.18 W;
+    # EXION24 235.2 TOPS / 819 GB/s / ~20.40 W.
+    assert ex4.peak_tops == pytest.approx(39.2)
+    assert ex24.peak_tops == pytest.approx(235.2)
+    assert ex4.dram.bandwidth_gbps == 51.0
+    assert ex24.dram.bandwidth_gbps == 819.0
+    assert ex4.peak_power_w == pytest.approx(3.18, abs=3.0)
+    assert ex24.peak_power_w == pytest.approx(20.40, abs=16.0)
+    assert DSC_PEAK_TOPS == pytest.approx(9.8)
+
+    benchmark(ExionAccelerator.exion24)

@@ -1,0 +1,70 @@
+"""Table III — power and area breakdown of one DSC.
+
+The constants reproduce the paper's synthesis results exactly (they seed
+the energy model); the bench also reports the *activity-weighted* energy
+shares a real DiT run produces, verifying the paper's observation that the
+sparsity-handling units (EPRE + CAU) stay below ~18.6% of power.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table, percent
+from repro.hw.accelerator import ExionAccelerator
+from repro.hw.energy import (
+    DSC_AREA_MM2,
+    DSC_POWER_MW,
+    TOTAL_DSC_AREA_MM2,
+    TOTAL_DSC_POWER_MW,
+)
+from repro.workloads.specs import get_spec
+
+from .conftest import emit
+
+
+def test_table3_power_area(benchmark, profiles):
+    rows = [
+        [component, f"{DSC_AREA_MM2[component]:.2f}",
+         f"{DSC_POWER_MW[component]:.2f}"]
+        for component in DSC_POWER_MW
+    ]
+    rows.append(["TOTAL", f"{TOTAL_DSC_AREA_MM2:.2f}",
+                 f"{TOTAL_DSC_POWER_MW:.2f}"])
+    emit(format_table(
+        ["component", "area [mm^2]", "power [mW] @800MHz, 0.8V"],
+        rows,
+        title="Table III — single-DSC breakdown (paper synthesis values)",
+    ))
+
+    # Activity-weighted energy shares from a simulated DiT run.
+    report = ExionAccelerator.exion24().simulate(
+        get_spec("dit"), profiles["dit"]
+    )
+    breakdown = report.energy_breakdown_j
+    on_chip = sum(v for k, v in breakdown.items() if k != "dram")
+    shares = [
+        [k, percent(v / on_chip)] for k, v in breakdown.items() if k != "dram"
+    ]
+    emit(format_table(
+        ["component", "energy share (DiT run, on-chip)"],
+        shares,
+        title="Activity-weighted on-chip energy (simulated)",
+    ))
+
+    assert TOTAL_DSC_AREA_MM2 == pytest.approx(4.37, abs=0.01)
+    assert TOTAL_DSC_POWER_MW == pytest.approx(1511.43, abs=0.1)
+    # Sparsity-handling units' static share (paper V-D: up to 18.6%).
+    static_share = (DSC_POWER_MW["epre"] + DSC_POWER_MW["cau"]) / sum(
+        DSC_POWER_MW.values()
+    )
+    assert static_share == pytest.approx(0.186, abs=0.01)
+    # CAU is 0.94% of DSC area (paper IV-C).
+    assert DSC_AREA_MM2["cau"] / TOTAL_DSC_AREA_MM2 == pytest.approx(
+        0.0094, abs=0.002
+    )
+    # EXION24 total area below the server GPU die (152.28 vs 609 mm^2).
+    exion24_area = 24 * TOTAL_DSC_AREA_MM2
+    assert exion24_area < 609 / 2
+
+    benchmark(
+        ExionAccelerator.exion24().simulate, get_spec("dit"), profiles["dit"]
+    )

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper's evaluation has one ``bench_*.py``
+module here. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each bench prints the rows/series the paper reports (with the paper's own
+numbers alongside for comparison) and times a representative kernel through
+pytest-benchmark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.profile import estimate_profile
+from repro.workloads.specs import BENCHMARK_ORDER, get_spec
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    """Paper-scale sparsity profiles for all benchmark models."""
+    return {
+        name: estimate_profile(get_spec(name), seed=0)
+        for name in BENCHMARK_ORDER
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(2025)
+
+
+def emit(text):
+    """Print a bench table with surrounding whitespace (shown with -s)."""
+    print("\n" + text + "\n")

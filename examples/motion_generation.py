@@ -1,0 +1,62 @@
+"""Text- and music-to-motion generation under EXION.
+
+Covers the paper's motion workloads: MLD (text-to-motion, UNet without
+ResBlocks) and EDGE (music-to-motion, transformer-only). The generated
+latents are interpreted as motion frames; motion-specific proxy metrics
+(beat alignment, physical-foot-contact smoothness) compare vanilla and
+EXION-optimized outputs, mirroring the paper's Table I protocol of
+out-of-dataset prompts.
+
+Run:  python examples/motion_generation.py
+"""
+
+from repro import ExionConfig, ExionPipeline, build_model
+from repro.analysis.report import format_table, percent
+from repro.workloads.metrics import (
+    beat_alignment_proxy,
+    physical_foot_contact_proxy,
+    psnr,
+)
+
+PROMPTS = {
+    "mld": "he jumped over the fence in one smooth motion",
+    "edge": "butter by bts",  # the paper's out-of-dataset music input
+}
+
+
+def run_model(name: str, prompt: str) -> list:
+    model = build_model(name, seed=0)
+    pipeline = ExionPipeline(model, ExionConfig.for_model(name))
+    vanilla = pipeline.generate_vanilla(seed=11, prompt=prompt)
+    optimized = pipeline.generate(seed=11, prompt=prompt)
+    stats = optimized.stats
+    return [
+        model.spec.display_name,
+        model.spec.task,
+        percent(stats.ffn_output_sparsity),
+        f"{psnr(vanilla.sample, optimized.sample):.1f} dB",
+        f"{beat_alignment_proxy(vanilla.sample):.3f} / "
+        f"{beat_alignment_proxy(optimized.sample):.3f}",
+        f"{physical_foot_contact_proxy(vanilla.sample):.3f} / "
+        f"{physical_foot_contact_proxy(optimized.sample):.3f}",
+    ]
+
+
+def main() -> None:
+    rows = [run_model(name, prompt) for name, prompt in PROMPTS.items()]
+    print(format_table(
+        ["model", "task", "FFN sparsity", "PSNR", "beat-align (van/opt)",
+         "PFC (van/opt)"],
+        rows,
+        title="Motion generation under EXION (out-of-dataset inputs)",
+    ))
+    print()
+    print("The optimized run stays correlated with the vanilla run (PSNR)")
+    print("while reusing ~95% of FFN outputs across iterations. As in the")
+    print("paper's Table I, individual motion metrics can drift even when")
+    print("the generated output remains usable (their MDM/EDGE rows show")
+    print("the same: one metric degrades while visual quality holds).")
+
+
+if __name__ == "__main__":
+    main()

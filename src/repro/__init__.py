@@ -1,0 +1,38 @@
+"""Reproduction of EXION (HPCA 2025).
+
+EXION is a software-hardware co-designed accelerator for diffusion-model
+inference. This package reimplements, in pure Python/numpy:
+
+- the diffusion-model substrate the paper evaluates on (``repro.models``),
+- the paper's primary contribution: the FFN-Reuse and eager-prediction
+  sparsity algorithms plus the ConMerge data-compaction mechanism
+  (``repro.core``),
+- post-training quantization matching the hardware datapath (``repro.quant``),
+- a cycle-level simulator of the EXION hardware (``repro.hw``),
+- GPU and Cambricon-D baselines (``repro.baselines``),
+- benchmark workloads and analysis helpers (``repro.workloads``,
+  ``repro.analysis``).
+
+Quickstart::
+
+    from repro import build_model, ExionPipeline, ExionConfig
+
+    model = build_model("dit", seed=0)
+    pipeline = ExionPipeline(model, ExionConfig.for_model("dit"))
+    result = pipeline.generate(seed=1)
+    print(result.stats.ffn_output_sparsity)
+"""
+
+from repro.core.config import ExionConfig
+from repro.core.pipeline import ExionPipeline, GenerationResult
+from repro.models.zoo import BENCHMARK_MODELS, build_model
+
+__all__ = [
+    "BENCHMARK_MODELS",
+    "ExionConfig",
+    "ExionPipeline",
+    "GenerationResult",
+    "build_model",
+]
+
+__version__ = "1.0.0"

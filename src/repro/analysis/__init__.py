@@ -1,0 +1,22 @@
+"""Analysis helpers: operation counting, similarity studies, reporting."""
+
+from repro.analysis.heatmap import render_bitmask, render_heatmap
+from repro.analysis.opcount import operation_breakdown, operation_breakdown_table
+from repro.analysis.report import format_table, percent
+from repro.analysis.similarity import (
+    adjacent_differences,
+    cosine_similarity_matrix,
+    gelu_outputs_by_iteration,
+)
+
+__all__ = [
+    "adjacent_differences",
+    "cosine_similarity_matrix",
+    "format_table",
+    "gelu_outputs_by_iteration",
+    "operation_breakdown",
+    "operation_breakdown_table",
+    "percent",
+    "render_bitmask",
+    "render_heatmap",
+]

@@ -1,0 +1,18 @@
+"""Baseline hardware models: GPUs and the Cambricon-D accelerator."""
+
+from repro.baselines.cambricon_d import CambriconDModel
+from repro.baselines.delta_dit import DeltaDiTPipeline, DeltaDiTResult
+from repro.baselines.gpu import GPUModel, GPUReport
+from repro.baselines.specs import A100, EDGE_GPU, SERVER_GPU, GPUSpec
+
+__all__ = [
+    "A100",
+    "CambriconDModel",
+    "DeltaDiTPipeline",
+    "DeltaDiTResult",
+    "EDGE_GPU",
+    "GPUModel",
+    "GPUReport",
+    "GPUSpec",
+    "SERVER_GPU",
+]

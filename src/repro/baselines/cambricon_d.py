@@ -1,0 +1,64 @@
+"""Cambricon-D analytical model (Kong et al., ISCA 2024) for Fig. 19 (b).
+
+Cambricon-D applies *differential acceleration* to diffusion models: it
+computes the delta between consecutive iterations' activations and, because
+deltas are small, runs convolutional layers at reduced effective precision
+and memory traffic. Its strength is conv-heavy UNets (Stable Diffusion);
+transformer blocks see only modest gains — the asymmetry the paper's
+Fig. 19 (b) comparison highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gpu import GPUModel, GPUReport
+from repro.baselines.specs import A100, GPUSpec
+from repro.workloads.specs import ModelSpec
+
+
+@dataclass
+class CambriconDReport:
+    model: str
+    latency_s: float
+    speedup_vs_gpu: float
+
+
+class CambriconDModel:
+    """Speedup model of Cambricon-D relative to an A100-class GPU.
+
+    ``conv_delta_speedup`` is the differential-computation gain on
+    convolutional/ResBlock work; ``transformer_speedup`` is the smaller
+    gain on transformer blocks (dense INT compute plus memory-access
+    optimization, but no output-sparsity exploitation).
+    """
+
+    def __init__(
+        self,
+        gpu_spec: GPUSpec = A100,
+        conv_delta_speedup: float = 11.0,
+        transformer_speedup: float = 3.3,
+    ) -> None:
+        if conv_delta_speedup < 1.0 or transformer_speedup < 1.0:
+            raise ValueError("speedups must be >= 1")
+        self.gpu = GPUModel(gpu_spec)
+        self.conv_delta_speedup = conv_delta_speedup
+        self.transformer_speedup = transformer_speedup
+
+    def simulate(self, spec: ModelSpec, batch: int = 1) -> CambriconDReport:
+        """Latency from the GPU baseline split by op category."""
+        gpu_report: GPUReport = self.gpu.simulate(spec, batch=batch)
+        conv_share = 1.0 - spec.paper_transformer_share
+        transformer_share = spec.paper_transformer_share
+        # Amdahl split: conv work accelerates by the differential factor,
+        # transformer work by the smaller dense-engine factor.
+        accelerated = (
+            conv_share / self.conv_delta_speedup
+            + transformer_share / self.transformer_speedup
+        )
+        latency = gpu_report.latency_s * accelerated
+        return CambriconDReport(
+            model=spec.name,
+            latency_s=latency,
+            speedup_vs_gpu=gpu_report.latency_s / latency,
+        )

@@ -1,0 +1,73 @@
+"""Hardware specifications of the comparison devices (paper Table II).
+
+The utilization/overhead parameters are the calibration layer of the GPU
+roofline model: peak numbers come from vendor datasheets (as in Table II),
+while achieved-fraction and launch-overhead values reflect measured GPU
+behaviour on diffusion inference (small per-iteration kernels severely
+underutilize large GPUs — the effect behind the paper's largest speedups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Roofline-model parameters for one GPU."""
+
+    name: str
+    peak_ops_per_s: float  # dense peak (FLOPS or OPS)
+    bandwidth_gbps: float
+    tdp_w: float
+    #: Seconds of fixed overhead per kernel launch (driver + dispatch).
+    kernel_launch_s: float
+    #: Best-case fraction of peak achieved by large GEMMs.
+    max_utilization: float
+    #: Output elements needed to saturate the device (smaller GEMMs run at
+    #: proportionally lower utilization).
+    saturation_elements: float
+    #: Fraction of TDP drawn when poorly utilized (idle + static).
+    idle_power_fraction: float = 0.35
+    #: Bytes per operand element (FP32 unless noted).
+    bytes_per_element: int = 4
+
+
+#: NVIDIA Jetson Orin Nano (edge setting, Table II).
+EDGE_GPU = GPUSpec(
+    name="Jetson Orin Nano",
+    peak_ops_per_s=40e12,  # 40 TOPS (INT8 marketing peak)
+    bandwidth_gbps=68.0,
+    tdp_w=15.0,
+    # Jetson-class devices dispatch small PyTorch kernels at O(100 us) and
+    # achieve a small fraction of the INT8 peak on FP16 GEMMs.
+    kernel_launch_s=150e-6,
+    max_utilization=0.20,
+    saturation_elements=1.0e5,
+    idle_power_fraction=0.40,
+)
+
+#: NVIDIA RTX 6000 Ada (server setting, Table II).
+SERVER_GPU = GPUSpec(
+    name="RTX 6000 Ada",
+    peak_ops_per_s=91.1e12,  # 91.1 TFLOPS FP32
+    bandwidth_gbps=960.0,
+    tdp_w=300.0,
+    kernel_launch_s=5e-6,
+    max_utilization=0.55,
+    saturation_elements=6.0e5,
+    idle_power_fraction=0.35,
+)
+
+#: NVIDIA A100 80GB (Fig. 19 (b) comparison).
+A100 = GPUSpec(
+    name="A100",
+    peak_ops_per_s=312e12,  # FP16 tensor-core peak
+    bandwidth_gbps=1935.0,
+    tdp_w=400.0,
+    kernel_launch_s=5e-6,
+    max_utilization=0.55,
+    saturation_elements=1.0e6,
+    idle_power_fraction=0.35,
+    bytes_per_element=2,
+)

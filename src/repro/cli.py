@@ -1,0 +1,208 @@
+"""Command-line interface for the EXION reproduction.
+
+Usage::
+
+    python -m repro models                         # list benchmark models
+    python -m repro generate --model dit --seed 1  # run EXION inference
+    python -m repro simulate --model dit           # HW sim vs GPU baselines
+    python -m repro opcount                        # Fig. 4 breakdown
+    python -m repro conmerge --model stable_diffusion
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table, percent
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.workloads.specs import BENCHMARK_ORDER, get_spec
+
+    rows = []
+    for name in BENCHMARK_ORDER:
+        spec = get_spec(name)
+        rows.append(
+            [
+                name,
+                spec.task,
+                f"type {spec.network_type}",
+                spec.total_iterations,
+                f"N={spec.sparse_iters_n}",
+                percent(spec.target_inter_sparsity, 0),
+                percent(spec.target_intra_sparsity, 0),
+            ]
+        )
+    print(format_table(
+        ["name", "task", "network", "iters", "FFN-Reuse",
+         "inter sparsity", "intra sparsity"],
+        rows,
+        title="Benchmark models (paper Table I)",
+    ))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.core.config import ExionConfig
+    from repro.core.pipeline import ExionPipeline
+    from repro.models.zoo import build_model
+    from repro.workloads.metrics import psnr
+
+    model = build_model(args.model, seed=args.model_seed,
+                        total_iterations=args.iterations)
+    config = ExionConfig.for_model(args.model).ablation(args.ablation)
+    pipeline = ExionPipeline(model, config)
+    kwargs = {"seed": args.seed}
+    if args.class_label is not None:
+        kwargs["class_label"] = args.class_label
+    else:
+        kwargs["prompt"] = args.prompt
+
+    result = pipeline.generate(**kwargs)
+    stats = result.stats
+    print(f"model={args.model} ablation={args.ablation} seed={args.seed}")
+    print(f"sample shape {result.sample.shape}, "
+          f"range [{result.sample.min():.3f}, {result.sample.max():.3f}]")
+    summary = stats.summary()
+    for key, value in summary.items():
+        formatted = percent(value) if isinstance(value, float) else value
+        print(f"  {key:28s} {formatted}")
+    if args.compare_vanilla:
+        vanilla = pipeline.generate_vanilla(**kwargs)
+        print(f"  PSNR vs vanilla              "
+              f"{psnr(vanilla.sample, result.sample):.2f} dB")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.baselines.gpu import GPUModel
+    from repro.baselines.specs import EDGE_GPU, SERVER_GPU
+    from repro.hw.accelerator import ExionAccelerator
+    from repro.hw.profile import estimate_profile
+    from repro.workloads.specs import get_spec
+
+    spec = get_spec(args.model)
+    profile = estimate_profile(spec, seed=0)
+    accelerators = {
+        "exion4": ExionAccelerator.exion4,
+        "exion24": ExionAccelerator.exion24,
+        "exion42": ExionAccelerator.exion42,
+    }
+    acc = accelerators[args.accelerator]()
+    report = acc.simulate(spec, profile, batch=args.batch)
+    gpu_spec = EDGE_GPU if args.accelerator == "exion4" else SERVER_GPU
+    gpu = GPUModel(gpu_spec).simulate(spec, batch=args.batch)
+
+    rows = [
+        [gpu.gpu, f"{gpu.latency_s * 1e3:.3f} ms", f"{gpu.energy_j:.4f} J",
+         f"{gpu.tops_per_watt:.4f}"],
+        [report.accelerator, f"{report.latency_s * 1e3:.3f} ms",
+         f"{report.energy_j:.4f} J", f"{report.tops_per_watt:.4f}"],
+    ]
+    print(format_table(
+        ["device", "latency", "energy", "TOPS/W"],
+        rows,
+        title=f"{spec.display_name}, batch={args.batch}",
+    ))
+    print(f"speedup {gpu.latency_s / report.latency_s:.1f}x, "
+          f"efficiency gain "
+          f"{report.tops_per_watt / gpu.tops_per_watt:.1f}x")
+    return 0
+
+
+def _cmd_opcount(args: argparse.Namespace) -> int:
+    from repro.analysis.opcount import operation_breakdown_table
+
+    rows = operation_breakdown_table()
+    print(format_table(
+        ["model", "ops/iter", "qkv", "attention", "ffn", "etc"],
+        [
+            [
+                r["model"],
+                f"{r['total_ops']:.2e}",
+                percent(r["qkv_share"]),
+                percent(r["attention_share"]),
+                percent(r["ffn_share"]),
+                percent(r["etc_share"]),
+            ]
+            for r in rows
+        ],
+        title="Operation breakdown per iteration (paper Fig. 4)",
+    ))
+    return 0
+
+
+def _cmd_conmerge(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.conmerge.cvg import conmerge_tiled
+    from repro.workloads.generator import ffn_output_bitmask
+    from repro.workloads.specs import get_spec
+
+    spec = get_spec(args.model)
+    mask = ffn_output_bitmask(
+        min(spec.paper_tokens, 128),
+        min(spec.paper_ffn_mult * spec.paper_dim, 1024),
+        spec.target_inter_sparsity,
+        rng=np.random.default_rng(args.seed),
+    )
+    result = conmerge_tiled(mask)
+    print(f"{spec.display_name}: {mask.rows}x{mask.cols} mask at "
+          f"{percent(mask.sparsity)} sparsity")
+    print(f"  condensing : {percent(result.condense_ratio)} columns remain")
+    print(f"  + merging  : {percent(result.remaining_column_ratio)} "
+          f"columns remain across {result.num_blocks} tile blocks")
+    print(f"  utilization: {percent(result.utilization)} of DPUs active")
+    print(f"  CVG cycles : {result.cycles}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="EXION (HPCA 2025) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list benchmark models").set_defaults(
+        func=_cmd_models
+    )
+
+    gen = sub.add_parser("generate", help="run EXION inference")
+    gen.add_argument("--model", default="dit")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--model-seed", type=int, default=0)
+    gen.add_argument("--iterations", type=int, default=None)
+    gen.add_argument("--prompt", default="a corgi surfing a wave")
+    gen.add_argument("--class-label", type=int, default=None)
+    gen.add_argument("--ablation", default="all",
+                     choices=["base", "ep", "ffnr", "all"])
+    gen.add_argument("--compare-vanilla", action="store_true")
+    gen.set_defaults(func=_cmd_generate)
+
+    sim = sub.add_parser("simulate", help="hardware simulation vs GPU")
+    sim.add_argument("--model", default="dit")
+    sim.add_argument("--accelerator", default="exion24",
+                     choices=["exion4", "exion24", "exion42"])
+    sim.add_argument("--batch", type=int, default=1)
+    sim.set_defaults(func=_cmd_simulate)
+
+    sub.add_parser("opcount", help="Fig. 4 operation breakdown").set_defaults(
+        func=_cmd_opcount
+    )
+
+    cm = sub.add_parser("conmerge", help="ConMerge compaction demo")
+    cm.add_argument("--model", default="stable_diffusion")
+    cm.add_argument("--seed", type=int, default=0)
+    cm.set_defaults(func=_cmd_conmerge)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

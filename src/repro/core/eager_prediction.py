@@ -1,0 +1,208 @@
+"""Eager prediction: intra-iteration output sparsity (paper II-B, IV-D).
+
+The predictor approximates the attention score in the log domain (cheap
+shift-add hardware), then uses the prediction to decide what the exact
+engine may skip:
+
+- per predicted-score row, only the top-k elements are kept; the rest are
+  treated as zero after softmax (their probability is negligible);
+- if the gap between a row's largest and second-largest predicted score
+  exceeds ``q_th``, the whole row collapses to a one-hot distribution: the
+  exact score row, the softmax and the row's Q projection are all skipped;
+- a source column whose predicted scores are dropped in *every* row needs
+  no K or V projection at all.
+
+The paper's TS-LOD refinement (two-step leading-one detection) is what
+makes the prediction accurate enough for diffusion models (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ExionConfig
+from repro.core.logdomain import log_domain_matmul
+from repro.core.sparsity import RunStats
+from repro.models.activations import softmax
+from repro.models.attention import AttentionTrace, MultiHeadAttention
+
+
+@dataclass
+class HeadDecision:
+    """Skip decisions for one attention head."""
+
+    keep: np.ndarray  # (tq, tk) bool: score elements to compute exactly
+    one_hot_rows: np.ndarray  # (tq,) bool: rows collapsed by dominance
+    one_hot_cols: np.ndarray  # (tq,) int: argmax column of one-hot rows
+
+    @property
+    def skipped_elements(self) -> int:
+        return int(self.keep.size - self.keep.sum())
+
+
+class EagerPredictor:
+    """Builds attention executors implementing eager prediction."""
+
+    def __init__(self, config: ExionConfig, stats: Optional[RunStats] = None,
+                 collect_keepmasks: bool = False) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else RunStats()
+        self.collect_keepmasks = collect_keepmasks
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict_scores(
+        self, layer: MultiHeadAttention, x: np.ndarray, kv_input: np.ndarray
+    ) -> np.ndarray:
+        """Log-domain predicted attention scores, shape ``(h, tq, tk)``."""
+        mode = self.config.lod_mode
+        bits = self.config.prediction_bits
+        q_pred = log_domain_matmul(x, layer.wq.weight, mode, bits)
+        k_pred = log_domain_matmul(kv_input, layer.wk.weight, mode, bits)
+        if layer.wq.bias is not None:
+            q_pred = q_pred + layer.wq.bias
+        if layer.wk.bias is not None:
+            k_pred = k_pred + layer.wk.bias
+        qh = layer.split_heads(q_pred)
+        kh = layer.split_heads(k_pred)
+        return np.einsum("htd,hsd->hts", qh, kh) * layer.scale
+
+    def decide(self, predicted: np.ndarray) -> list[HeadDecision]:
+        """Per-head keep masks and one-hot rows from predicted scores."""
+        decisions = []
+        for head_scores in predicted:
+            decisions.append(self._decide_head(head_scores))
+        return decisions
+
+    def _decide_head(self, scores: np.ndarray) -> HeadDecision:
+        tq, tk = scores.shape
+        keep_count = max(1, int(np.ceil(self.config.top_k_ratio * tk)))
+
+        keep = np.zeros((tq, tk), dtype=bool)
+        if keep_count >= tk:
+            keep[:] = True
+        else:
+            # Indices of the top-k predicted scores per row.
+            top_idx = np.argpartition(-scores, keep_count - 1, axis=1)[:, :keep_count]
+            np.put_along_axis(keep, top_idx, True, axis=1)
+
+        one_hot_cols = np.argmax(scores, axis=1)
+        if tk >= 2:
+            sorted_scores = np.sort(scores, axis=1)
+            gap = sorted_scores[:, -1] - sorted_scores[:, -2]
+            one_hot_rows = gap > self.config.q_threshold
+        else:
+            one_hot_rows = np.ones(tq, dtype=bool)
+        # A one-hot row skips its entire exact-score computation.
+        keep[one_hot_rows] = False
+        return HeadDecision(keep=keep, one_hot_rows=one_hot_rows,
+                            one_hot_cols=one_hot_cols)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def executor(self):
+        """An ``AttentionExecutor`` running EP-guided sparse attention."""
+
+        def run(layer: MultiHeadAttention, x: np.ndarray,
+                context: Optional[np.ndarray]):
+            return self._run(layer, x, context)
+
+        return run
+
+    def _run(self, layer: MultiHeadAttention, x: np.ndarray,
+             context: Optional[np.ndarray]):
+        kv_input = x if context is None else context
+        tq = x.shape[0]
+        tk = kv_input.shape[0]
+        heads = layer.num_heads
+
+        predicted = self.predict_scores(layer, x, kv_input)
+        decisions = self.decide(predicted)
+
+        # Projection skipping derived from the decisions (paper II-B):
+        # rows one-hot in every head skip Q projection; columns dropped in
+        # every row of every head skip K and V projection.
+        q_row_needed = np.zeros(tq, dtype=bool)
+        kv_col_needed = np.zeros(tk, dtype=bool)
+        for dec in decisions:
+            q_row_needed |= ~dec.one_hot_rows
+            kv_col_needed |= dec.keep.any(axis=0)
+            # One-hot rows still read V at their argmax column.
+            kv_col_needed[np.unique(dec.one_hot_cols[dec.one_hot_rows])] = True
+
+        q = layer.split_heads(layer.wq(x))
+        k = layer.split_heads(layer.wk(kv_input))
+        v = layer.split_heads(layer.wv(kv_input))
+
+        scores = np.full((heads, tq, tk), -np.inf)
+        probs = np.zeros((heads, tq, tk))
+        attended = np.zeros((heads, tq, layer.head_dim))
+        skipped = 0
+        for h, dec in enumerate(decisions):
+            exact = np.einsum("td,sd->ts", q[h], k[h]) * layer.scale
+            masked = np.where(dec.keep, exact, -np.inf)
+            normal_rows = ~dec.one_hot_rows & dec.keep.any(axis=1)
+            if np.any(normal_rows):
+                probs[h, normal_rows] = softmax(masked[normal_rows], axis=-1)
+            # Rows with nothing kept and no dominance fall back to the
+            # predicted argmax (never happens with top_k >= 1 but keeps the
+            # executor total).
+            oh_rows = dec.one_hot_rows | ~dec.keep.any(axis=1)
+            for r in np.flatnonzero(oh_rows):
+                probs[h, r, dec.one_hot_cols[r]] = 1.0
+                attended[h, r] = v[h, dec.one_hot_cols[r]]
+            nr = np.flatnonzero(~oh_rows)
+            if nr.size:
+                attended[h, nr] = probs[h, nr] @ v[h]
+            scores[h] = masked
+            skipped += dec.skipped_elements
+
+        out = layer.wo(layer.merge_heads(attended))
+
+        # ------------------------------------------------------------------
+        # statistics
+        # ------------------------------------------------------------------
+        total_scores = heads * tq * tk
+        head_dim = layer.head_dim
+        self.stats.attention_scores.add(
+            total_scores * head_dim, (total_scores - skipped) * head_dim
+        )
+        q_rows_skipped = int(tq - q_row_needed.sum())
+        kv_cols_skipped = int(tk - kv_col_needed.sum())
+        dim_in = layer.wq.in_features
+        self.stats.q_projection.add(
+            tq * dim_in * layer.dim, int(q_row_needed.sum()) * dim_in * layer.dim
+        )
+        self.stats.kv_projection.add(
+            2 * tk * layer.wk.in_features * layer.dim,
+            2 * int(kv_col_needed.sum()) * layer.wk.in_features * layer.dim,
+        )
+        sparsity = skipped / total_scores if total_scores else 0.0
+        self.stats.attention_sparsities.append(sparsity)
+        # Log-domain prediction overhead (counted against EXION in the HW
+        # model): Q/K prediction plus predicted-score MMUL.
+        self.stats.prediction_overhead_macs += (
+            (tq + tk) * dim_in * layer.dim + total_scores * head_dim
+        )
+
+        keep_all = np.stack([d.keep for d in decisions])
+        if self.collect_keepmasks:
+            self.stats.attention_keepmasks.append(keep_all)
+
+        trace = AttentionTrace(
+            scores=scores,
+            probs=probs,
+            output_sparsity=sparsity,
+            skipped_score_elements=skipped,
+            total_score_elements=total_scores,
+            q_rows_skipped=q_rows_skipped * heads,
+            q_rows_total=tq * heads,
+            kv_cols_skipped=kv_cols_skipped * heads,
+            kv_cols_total=tk * heads,
+        )
+        return out, trace

@@ -1,0 +1,204 @@
+"""FFN-Reuse: inter-iteration output sparsity (paper Section III-A, Fig. 6).
+
+The diffusion process removes noise progressively, so the FFN non-linearity
+output at one iteration closely matches the next (Fig. 7). FFN-Reuse runs
+one exact *dense iteration*, thresholds the non-linearity output into a
+bitmask, and for the following ``N`` *sparse iterations*:
+
+- 1st FFN layer: recomputes only above-threshold (bit ``1``) elements and
+  reuses the dense iteration's values for the rest — the skipped elements
+  *are* the inter-iteration output sparsity;
+- 2nd FFN layer: keeps a partial sum of the reused elements' contribution
+  (computed once at the dense iteration) and accumulates only the
+  recomputed elements' products on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bitmask import Bitmask
+from repro.core.config import ExionConfig
+from repro.core.sparsity import RunStats
+from repro.core.thresholds import ThresholdTable, quantile_threshold
+from repro.models.ffn import FeedForward, FFNTrace
+
+
+@dataclass
+class _BlockState:
+    """Dense-iteration artifacts carried into the sparse iterations."""
+
+    hidden_dense: np.ndarray  # non-linearity output at the dense iteration
+    bitmask: Bitmask  # 1 = recompute, 0 = reuse
+    partial_sums: np.ndarray  # reused elements' 2nd-layer contribution + bias
+    threshold: float
+
+
+class FFNReuse:
+    """Stateful FFN-Reuse manager for one generation run.
+
+    One instance spans all transformer blocks of the network; call
+    :meth:`begin_iteration` at each denoising step and use
+    :meth:`executor_for_block` as the FFN executor.
+    """
+
+    def __init__(
+        self,
+        config: ExionConfig,
+        num_blocks: int,
+        stats: Optional[RunStats] = None,
+        threshold_table: Optional[ThresholdTable] = None,
+        collect_bitmasks: bool = False,
+    ) -> None:
+        self.config = config
+        self.num_blocks = num_blocks
+        self.stats = stats if stats is not None else RunStats()
+        self.threshold_table = threshold_table
+        self.collect_bitmasks = collect_bitmasks
+        self._states: list[Optional[_BlockState]] = [None] * num_blocks
+        self._iteration = -1
+
+    # ------------------------------------------------------------------
+    # phase control
+    # ------------------------------------------------------------------
+    @property
+    def dense_period(self) -> int:
+        return self.config.sparse_iters_n + 1
+
+    def begin_iteration(self, iteration: int) -> None:
+        """Mark the start of denoising iteration ``iteration``."""
+        if iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        self._iteration = iteration
+        if self.is_dense_iteration:
+            self.stats.dense_iterations += 1
+        else:
+            self.stats.sparse_iterations += 1
+
+    @property
+    def is_dense_iteration(self) -> bool:
+        """Dense iterations recur every ``N + 1`` steps, starting at step 0."""
+        return self._iteration % self.dense_period == 0
+
+    @property
+    def dense_index(self) -> int:
+        return self._iteration // self.dense_period
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def executor_for_block(self, block: int):
+        """FFN executor bound to transformer block ``block``."""
+        if not 0 <= block < self.num_blocks:
+            raise IndexError(f"block {block} out of range [0, {self.num_blocks})")
+
+        def run(layer: FeedForward, x: np.ndarray):
+            if self._iteration < 0:
+                raise RuntimeError("begin_iteration() was never called")
+            if self.is_dense_iteration or self._states[block] is None:
+                return self._run_dense(layer, x, block)
+            return self._run_sparse(layer, x, block)
+
+        return run
+
+    def _resolve_threshold(self, hidden: np.ndarray, block: int) -> float:
+        if self.config.ffn_threshold is not None:
+            return self.config.ffn_threshold
+        if self.threshold_table is not None:
+            stored = self.threshold_table.get(self.dense_index, block)
+            if stored is not None:
+                return stored
+        return quantile_threshold(hidden, self.config.ffn_target_sparsity)
+
+    def _run_dense(self, layer: FeedForward, x: np.ndarray, block: int):
+        tokens = x.shape[0]
+        hidden = layer.nonlinear(layer.linear1(x))
+        out = layer.linear2(hidden)
+
+        threshold = self._resolve_threshold(hidden, block)
+        bitmask = Bitmask.from_threshold(hidden, threshold)
+        reused = hidden * ~bitmask.mask
+        partial = reused @ layer.linear2.weight
+        if layer.linear2.bias is not None:
+            partial = partial + layer.linear2.bias
+        self._states[block] = _BlockState(
+            hidden_dense=hidden,
+            bitmask=bitmask,
+            partial_sums=partial,
+            threshold=threshold,
+        )
+
+        full_l1 = layer.linear1.macs(tokens)
+        full_l2 = layer.linear2.macs(tokens)
+        self.stats.ffn_layer1.add(full_l1, full_l1)
+        self.stats.ffn_layer2.add(full_l2, full_l2)
+        if self.collect_bitmasks:
+            self.stats.ffn_bitmasks.append(bitmask)
+
+        trace = FFNTrace(hidden=hidden, total_hidden_elements=int(hidden.size))
+        return out, trace
+
+    def _run_sparse(self, layer: FeedForward, x: np.ndarray, block: int):
+        state = self._states[block]
+        assert state is not None
+        tokens = x.shape[0]
+        mask = state.bitmask.mask
+
+        # 1st FFN layer: only bit-1 elements are recomputed; the numpy
+        # computation is dense but the semantics (and op accounting) follow
+        # the element-skipping hardware exactly.
+        hidden_recomputed = layer.nonlinear(layer.linear1(x))
+        hidden = np.where(mask, hidden_recomputed, state.hidden_dense)
+
+        # 2nd FFN layer: accumulate recomputed elements onto the dense
+        # iteration's partial sums (bias already included there).
+        updates = (hidden * mask) @ layer.linear2.weight
+        out = state.partial_sums + updates
+
+        nnz = state.bitmask.nnz
+        sparsity = state.bitmask.sparsity
+        # Per recomputed hidden element the 1st layer runs a length-`dim`
+        # dot product (x2 for GEGLU's value+gate pair).
+        l1_cols_per_hidden = layer.linear1.out_features // layer.hidden_dim
+        computed_l1 = nnz * layer.dim * l1_cols_per_hidden
+        full_l1 = layer.linear1.macs(tokens)
+        # 2nd layer: each recomputed element contributes to `dim` outputs.
+        computed_l2 = nnz * layer.dim
+        full_l2 = layer.linear2.macs(tokens)
+
+        self.stats.ffn_layer1.add(full_l1, computed_l1)
+        self.stats.ffn_layer2.add(full_l2, computed_l2)
+        self.stats.ffn_sparsities.append(sparsity)
+
+        trace = FFNTrace(
+            hidden=hidden,
+            output_sparsity=sparsity,
+            skipped_hidden_elements=int(hidden.size) - nnz,
+            total_hidden_elements=int(hidden.size),
+            reused_from_dense=True,
+        )
+        return out, trace
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def state_for_block(self, block: int) -> Optional[_BlockState]:
+        """Dense-iteration state of a block (None before the first dense)."""
+        return self._states[block]
+
+
+def schedule_phases(total_iterations: int, sparse_n: int) -> list[bool]:
+    """Dense/sparse phase per iteration: ``True`` marks a dense iteration.
+
+    The paper's schedule: one dense iteration followed by ``N`` sparse
+    iterations, repeated across the whole diffusion process.
+    """
+    if total_iterations < 0:
+        raise ValueError("total_iterations must be >= 0")
+    if sparse_n < 0:
+        raise ValueError("sparse_n must be >= 0")
+    period = sparse_n + 1
+    return [i % period == 0 for i in range(total_iterations)]

@@ -1,0 +1,230 @@
+"""Multi-DSC EXION accelerator: end-to-end latency/energy simulation.
+
+Instantiates the paper's configurations (Table II):
+
+- ``ExionAccelerator.exion4()`` — 4 DSCs, 51 GB/s LPDDR5 (edge setting);
+- ``ExionAccelerator.exion24()`` — 24 DSCs, 819 GB/s GDDR6, 64 MB GSC
+  (server setting);
+- ``ExionAccelerator.exion42()`` — 42 DSCs, 1935 GB/s (A100 comparison).
+
+The simulation walks the FFN-Reuse phase schedule, prices each iteration
+through :class:`repro.hw.dsc.DSCModel`, overlaps compute with DRAM via the
+double/triple-buffered memories, and accounts energy against the Table III
+power model. A key effect it captures: diffusion reuses identical weights
+every iteration, so models whose INT12 weights fit in the GSC fetch them
+from DRAM only once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.ffn_reuse import schedule_phases
+from repro.hw.dram import DRAMModel, GDDR6, HBM2E, LPDDR5
+from repro.hw.dsc import DSCModel, IterationCost
+from repro.hw.energy import CLOCK_HZ, EnergyModel, TOTAL_DSC_POWER_MW
+from repro.hw.profile import SparsityProfile, estimate_profile
+from repro.workloads.specs import ModelSpec
+
+#: Paper Table II: per-DSC normalized throughput.
+DSC_PEAK_TOPS = 9.8
+
+#: Multi-DSC work-partitioning efficiency (synchronization, load skew).
+SCALING_EFFICIENCY = 0.92
+
+#: GSC capacity per DSC (EXION24 carries 64 MB for 24 DSCs).
+GSC_BYTES_PER_DSC = int(64 * 1024 * 1024 / 24)
+
+
+@dataclass
+class AcceleratorReport:
+    """Result of simulating one model on one EXION configuration."""
+
+    accelerator: str
+    model: str
+    batch: int
+    iterations: int
+    latency_s: float
+    energy_j: float
+    dense_equivalent_ops: int
+    computed_ops: int
+    energy_breakdown_j: dict = field(default_factory=dict)
+    compute_bound_fraction: float = 0.0
+
+    @property
+    def effective_tops(self) -> float:
+        """Dense-equivalent throughput (skipped work counts as done)."""
+        return self.dense_equivalent_ops / self.latency_s / 1e12
+
+    @property
+    def tops_per_watt(self) -> float:
+        """Dense-equivalent energy efficiency, the Fig. 18 metric."""
+        return self.dense_equivalent_ops / self.energy_j / 1e12
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy_j / self.latency_s
+
+    @property
+    def ops_reduction(self) -> float:
+        if self.dense_equivalent_ops == 0:
+            return 0.0
+        return 1.0 - self.computed_ops / self.dense_equivalent_ops
+
+
+class ExionAccelerator:
+    """An EXIONx instance: ``num_dscs`` DSC cores sharing a DRAM channel."""
+
+    def __init__(
+        self,
+        num_dscs: int,
+        dram: DRAMModel,
+        name: Optional[str] = None,
+        clock_hz: float = CLOCK_HZ,
+        gsc_bytes_per_dsc: int = GSC_BYTES_PER_DSC,
+    ) -> None:
+        if num_dscs < 1:
+            raise ValueError("need at least one DSC")
+        self.num_dscs = num_dscs
+        self.dram = dram
+        self.name = name or f"EXION{num_dscs}"
+        self.clock_hz = clock_hz
+        self.gsc_bytes = gsc_bytes_per_dsc * num_dscs
+        self.dsc = DSCModel()
+
+    # ------------------------------------------------------------------
+    # paper configurations (Table II)
+    # ------------------------------------------------------------------
+    @classmethod
+    def exion4(cls) -> "ExionAccelerator":
+        return cls(num_dscs=4, dram=LPDDR5, name="EXION4")
+
+    @classmethod
+    def exion24(cls) -> "ExionAccelerator":
+        return cls(num_dscs=24, dram=GDDR6, name="EXION24")
+
+    @classmethod
+    def exion42(cls) -> "ExionAccelerator":
+        return cls(num_dscs=42, dram=HBM2E, name="EXION42")
+
+    @property
+    def peak_tops(self) -> float:
+        return DSC_PEAK_TOPS * self.num_dscs
+
+    @property
+    def peak_power_w(self) -> float:
+        return TOTAL_DSC_POWER_MW * 1e-3 * self.num_dscs
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        spec: ModelSpec,
+        profile: Optional[SparsityProfile] = None,
+        enable_ffn_reuse: bool = True,
+        enable_eager_prediction: bool = True,
+        batch: int = 1,
+        iterations: Optional[int] = None,
+    ) -> AcceleratorReport:
+        """Simulate one full generation of ``spec`` on this instance."""
+        if profile is None:
+            profile = estimate_profile(spec)
+        total_iters = iterations if iterations is not None else spec.total_iterations
+        if enable_ffn_reuse:
+            phases = schedule_phases(total_iters, spec.sparse_iters_n)
+        else:
+            phases = [True] * total_iters
+
+        # Iteration costs repeat; price each phase once.
+        costs = {
+            False: self.dsc.iteration_cost(
+                spec, profile, enable_ffn_reuse, enable_eager_prediction,
+                sparse_phase=True, batch=batch,
+            ),
+            True: self.dsc.iteration_cost(
+                spec, profile, enable_ffn_reuse, enable_eager_prediction,
+                sparse_phase=False, batch=batch,
+            ),
+        }
+
+        # Weight residency: diffusion reuses identical weights every
+        # iteration, so the GSC-cached fraction is fetched from DRAM once;
+        # only the uncached remainder streams per iteration.
+        weight_bytes_iter = costs[True].weight_bytes
+        cached_fraction = min(1.0, self.gsc_bytes / max(weight_bytes_iter, 1))
+
+        energy = EnergyModel(clock_hz=self.clock_hz)
+        latency = 0.0
+        dense_ops = 0
+        computed_ops = 0
+        compute_bound_iters = 0
+
+        for index, is_dense in enumerate(phases):
+            cost = costs[is_dense]
+            compute_s, busy = self._compute_seconds(cost)
+            dram_bytes = cost.activation_bytes
+            if index == 0:
+                dram_bytes += cost.weight_bytes
+            else:
+                dram_bytes += int(cost.weight_bytes * (1.0 - cached_fraction))
+            dram_s = self.dram.transfer_seconds(dram_bytes)
+            # Double/triple buffering overlaps compute and memory.
+            iter_s = max(compute_s, dram_s)
+            latency += iter_s
+            if compute_s >= dram_s:
+                compute_bound_iters += 1
+
+            self._record_energy(energy, cost, busy, iter_s)
+            energy.add_dram_energy(self.dram.transfer_energy_j(dram_bytes))
+            dense_ops += 2 * cost.macs_dense_equivalent
+            computed_ops += 2 * cost.macs_computed
+
+        return AcceleratorReport(
+            accelerator=self.name,
+            model=spec.name,
+            batch=batch,
+            iterations=total_iters,
+            latency_s=latency,
+            energy_j=energy.total_energy_j(),
+            dense_equivalent_ops=dense_ops,
+            computed_ops=computed_ops,
+            energy_breakdown_j=energy.breakdown_j(),
+            compute_bound_fraction=compute_bound_iters / max(len(phases), 1),
+        )
+
+    # ------------------------------------------------------------------
+    def _compute_seconds(self, cost: IterationCost) -> tuple:
+        """Iteration compute time with work split across DSCs.
+
+        Engines pipeline against each other (paper IV-A: EPRE latency is
+        mostly hidden), so the iteration takes the slowest engine's time.
+        """
+        scale = self.num_dscs * SCALING_EFFICIENCY
+        sdue_c = cost.sdue_cycles / scale
+        epre_c = cost.epre_cycles / scale
+        cfse_c = cost.cfse_cycles / scale
+        cau_c = cost.cau_cycles / scale
+        # CAU classification overlaps the SDUE; only excess CVG work shows.
+        critical = max(sdue_c, epre_c, cfse_c, cau_c * 0.25)
+        busy = {
+            "sdue": cost.sdue_cycles,
+            "epre": cost.epre_cycles,
+            "cfse": cost.cfse_cycles,
+            "cau": cost.cau_cycles,
+        }
+        return critical / self.clock_hz, busy
+
+    def _record_energy(
+        self, energy: EnergyModel, cost: IterationCost, busy: dict, iter_s: float
+    ) -> None:
+        iter_cycles_all = int(iter_s * self.clock_hz * self.num_dscs)
+        for component, cycles in busy.items():
+            idle = max(iter_cycles_all - int(cycles), 0)
+            activity = cost.sdue_activity if component == "sdue" else 1.0
+            energy.record(component, int(cycles), idle_cycles=idle,
+                          activity=activity)
+        # Memories and control are active alongside any engine activity.
+        energy.record("memories", iter_cycles_all, activity=0.4)
+        energy.record("top_dma_etc", iter_cycles_all, activity=0.3)

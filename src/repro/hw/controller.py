@@ -1,0 +1,104 @@
+"""Top controller: instruction stream driving the DSC engines (Fig. 10).
+
+The controller fetches instructions from INSTMEM, configures the tiling of
+each MMUL onto the SDUE, and sequences dense/sparse iterations. The model
+here is a small ISA plus a program generator: benches and tests use it to
+verify that a generated program covers a model's iteration exactly once and
+to size INSTMEM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hw.mapping import iteration_workloads
+from repro.workloads.specs import ModelSpec
+
+
+class Opcode(enum.Enum):
+    """Instruction set of the top controller."""
+
+    LOAD_INPUT = "load_input"  # DRAM/GSC -> IMEM
+    LOAD_WEIGHT = "load_weight"  # DRAM/GSC -> WMEM
+    RUN_SDUE_DENSE = "run_sdue_dense"
+    RUN_SDUE_MERGED = "run_sdue_merged"
+    RUN_EPRE = "run_epre"
+    RUN_CFSE = "run_cfse"
+    RUN_CAU = "run_cau"
+    STORE_OUTPUT = "store_output"  # OMEM -> GSC/DRAM
+    SYNC = "sync"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One 12-byte instruction word.
+
+    Three operand fields plus a repeat count — the controller loops an
+    instruction ``repeat`` times (e.g. once per transformer block), which
+    is what keeps per-iteration programs within the 3 KB INSTMEM.
+    """
+
+    opcode: Opcode
+    operand0: int = 0
+    operand1: int = 0
+    operand2: int = 0
+    repeat: int = 1
+
+    ENCODED_BYTES = 12
+
+
+class ProgramBuilder:
+    """Generates the instruction stream for one denoising iteration."""
+
+    def __init__(self, spec: ModelSpec) -> None:
+        self.spec = spec
+
+    def build_iteration(self, sparse_phase: bool) -> list:
+        """Program for one iteration (dense or sparse phase)."""
+        program: list = []
+        for load in iteration_workloads(self.spec):
+            n = load.count
+            program.append(
+                Instruction(Opcode.LOAD_INPUT, load.r, load.k, repeat=n)
+            )
+            if load.has_weights:
+                program.append(
+                    Instruction(Opcode.LOAD_WEIGHT, load.k, load.c, repeat=n)
+                )
+            if load.kind in ("qkv", "attention"):
+                program.append(
+                    Instruction(Opcode.RUN_EPRE, load.r, load.k, load.c,
+                                repeat=n)
+                )
+            if sparse_phase and load.kind in ("ffn1", "ffn2"):
+                program.append(
+                    Instruction(Opcode.RUN_SDUE_MERGED, load.r, load.k,
+                                load.c, repeat=n)
+                )
+            else:
+                program.append(
+                    Instruction(Opcode.RUN_SDUE_DENSE, load.r, load.k,
+                                load.c, repeat=n)
+                )
+            if load.kind == "attention":
+                program.append(
+                    Instruction(Opcode.RUN_CFSE, load.r, load.c, repeat=n)
+                )
+            if load.kind == "ffn1":
+                program.append(
+                    Instruction(Opcode.RUN_CFSE, load.r, load.c, repeat=n)
+                )
+                if not sparse_phase:
+                    program.append(
+                        Instruction(Opcode.RUN_CAU, load.r, load.c, repeat=n)
+                    )
+            program.append(
+                Instruction(Opcode.STORE_OUTPUT, load.r, load.c, repeat=n)
+            )
+        program.append(Instruction(Opcode.SYNC))
+        return program
+
+    def program_bytes(self, sparse_phase: bool) -> int:
+        """Encoded size; must fit the 3 KB INSTMEM (paper Fig. 10)."""
+        return len(self.build_iteration(sparse_phase)) * Instruction.ENCODED_BYTES

@@ -1,0 +1,61 @@
+"""External DRAM model (the paper integrates Ramulator; see DESIGN.md).
+
+A stream-level bandwidth/latency/energy model is sufficient here: the
+accelerator's DRAM traffic is long sequential weight and activation bursts,
+for which achieved bandwidth and per-bit transfer energy dominate. Energy
+constants follow the vendor figures the paper cites for LPDDR5/GDDR6
+([14], [17]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Bandwidth / latency / energy of one external-memory configuration."""
+
+    name: str
+    bandwidth_gbps: float  # GB/s achieved for streaming bursts
+    energy_pj_per_bit: float
+    base_latency_ns: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.energy_pj_per_bit < 0:
+            raise ValueError("energy must be non-negative")
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        """Time to stream ``num_bytes`` (burst latency + bandwidth term)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return self.base_latency_ns * 1e-9 + num_bytes / (self.bandwidth_gbps * 1e9)
+
+    def transfer_energy_j(self, num_bytes: float) -> float:
+        """Energy to move ``num_bytes`` across the interface."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes * 8.0 * self.energy_pj_per_bit * 1e-12
+
+    def scaled(self, bandwidth_gbps: float) -> "DRAMModel":
+        """Same technology at a different aggregate bandwidth."""
+        return DRAMModel(
+            name=self.name,
+            bandwidth_gbps=bandwidth_gbps,
+            energy_pj_per_bit=self.energy_pj_per_bit,
+            base_latency_ns=self.base_latency_ns,
+        )
+
+
+#: LPDDR5 as used by EXION4 and the Jetson Orin Nano (edge setting).
+LPDDR5 = DRAMModel(name="LPDDR5", bandwidth_gbps=51.0, energy_pj_per_bit=4.0)
+
+#: GDDR6 as used by EXION24 and the RTX 6000 Ada (server setting).
+GDDR6 = DRAMModel(name="GDDR6", bandwidth_gbps=819.0, energy_pj_per_bit=7.0)
+
+#: HBM2e for the EXION42 / A100 comparison (Fig. 19 (b)).
+HBM2E = DRAMModel(name="HBM2e", bandwidth_gbps=1935.0, energy_pj_per_bit=3.5)

@@ -1,0 +1,93 @@
+"""On-chip SRAM models: IMEM / WMEM / OMEM / CVMEM / GSC (paper Fig. 10-11).
+
+These are bookkeeping models: capacity checks, bank counts and the
+double/triple buffering scheme that hides fetch latency and feeds the
+broadcast lines. Access energy is folded into the Table III "memories"
+power figure (see :mod:`repro.hw.energy`), so banks only count accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SRAM:
+    """A banked scratchpad with N-way buffering."""
+
+    name: str
+    size_bytes: int
+    banks: int
+    buffering: int = 1  # 1 = single, 2 = double, 3 = triple
+
+    reads: int = 0
+    writes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.banks <= 0:
+            raise ValueError("size and banks must be positive")
+        if self.buffering not in (1, 2, 3):
+            raise ValueError("buffering must be 1, 2 or 3")
+
+    @property
+    def bank_bytes(self) -> int:
+        return self.size_bytes // self.banks
+
+    @property
+    def total_bytes(self) -> int:
+        """Physical capacity including all buffer copies."""
+        return self.size_bytes * self.buffering
+
+    def fits(self, num_bytes: int) -> bool:
+        """Does one buffer hold ``num_bytes``?"""
+        return 0 <= num_bytes <= self.size_bytes
+
+    def tiles_required(self, num_bytes: int) -> int:
+        """How many refills are needed to stream ``num_bytes`` through."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0
+        return -(-num_bytes // self.size_bytes)
+
+    def record_read(self, count: int = 1) -> None:
+        self.reads += count
+
+    def record_write(self, count: int = 1) -> None:
+        self.writes += count
+
+
+@dataclass
+class DSCMemories:
+    """The memory complement of one DSC (paper Figs. 10 and 11)."""
+
+    imem: SRAM = field(
+        default_factory=lambda: SRAM("IMEM", 24 * 1024, banks=16, buffering=2)
+    )
+    wmem: SRAM = field(
+        default_factory=lambda: SRAM("WMEM", 192 * 1024, banks=16, buffering=3)
+    )
+    omem: SRAM = field(
+        default_factory=lambda: SRAM("OMEM", 24 * 1024, banks=16, buffering=1)
+    )
+    cvmem: SRAM = field(
+        default_factory=lambda: SRAM("CVMEM", 50 * 1024, banks=16, buffering=1)
+    )
+    operand: SRAM = field(
+        default_factory=lambda: SRAM("OperandMem", 96 * 1024, banks=4, buffering=1)
+    )
+    instmem: SRAM = field(
+        default_factory=lambda: SRAM("INSTMEM", 3 * 1024, banks=1, buffering=1)
+    )
+
+    def all_srams(self) -> list:
+        return [self.imem, self.wmem, self.omem, self.cvmem, self.operand,
+                self.instmem]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.total_bytes for s in self.all_srams())
+
+
+#: Global scratchpad per DSC cluster (Fig. 10).
+GSC_BYTES = 512 * 1024

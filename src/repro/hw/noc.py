@@ -1,0 +1,77 @@
+"""Network-on-chip between the DSCs and the global scratchpad (Fig. 10).
+
+The paper's architecture connects the GSC to the DSCs via a NoC; weights
+broadcast to all DSCs (each DSC works on different output rows of the same
+layer) while activations unicast. The model prices both patterns and
+reports whether the NoC ever throttles the DRAM stream — with the paper's
+configuration it should not (the NoC is provisioned above DRAM bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """Link/topology parameters."""
+
+    num_dscs: int
+    link_bytes_per_cycle: int = 64  # per-DSC link width
+    clock_hz: float = 800e6
+
+    def __post_init__(self) -> None:
+        if self.num_dscs <= 0 or self.link_bytes_per_cycle <= 0:
+            raise ValueError("NoC parameters must be positive")
+
+    @property
+    def link_bandwidth_gbps(self) -> float:
+        return self.link_bytes_per_cycle * self.clock_hz / 1e9
+
+    @property
+    def aggregate_bandwidth_gbps(self) -> float:
+        return self.link_bandwidth_gbps * self.num_dscs
+
+
+class NoCModel:
+    """Cycle/latency model for GSC <-> DSC transfers."""
+
+    def __init__(self, config: NoCConfig) -> None:
+        self.config = config
+
+    def broadcast_seconds(self, num_bytes: int) -> float:
+        """One copy of the data reaches every DSC (weight broadcast).
+
+        A broadcast occupies every link for the payload duration once.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        cycles = -(-num_bytes // self.config.link_bytes_per_cycle)
+        return cycles / self.config.clock_hz
+
+    def unicast_seconds(self, num_bytes_per_dsc: int) -> float:
+        """Distinct payloads to each DSC (activation distribution).
+
+        Links run in parallel, so the time is one link's payload time.
+        """
+        if num_bytes_per_dsc < 0:
+            raise ValueError("num_bytes must be non-negative")
+        cycles = -(-num_bytes_per_dsc // self.config.link_bytes_per_cycle)
+        return cycles / self.config.clock_hz
+
+    def gather_seconds(self, num_bytes_per_dsc: int) -> float:
+        """Outputs back to the GSC; symmetric with unicast."""
+        return self.unicast_seconds(num_bytes_per_dsc)
+
+    def throttles_dram(self, dram_bandwidth_gbps: float) -> bool:
+        """Would this NoC bottleneck a DRAM stream of the given rate?
+
+        Broadcast traffic needs only one link's bandwidth (every link
+        carries the same stream), so the check is per-link.
+        """
+        return self.config.link_bandwidth_gbps < dram_bandwidth_gbps
+
+
+def exion_noc(num_dscs: int) -> NoCModel:
+    """The NoC of an EXIONx instance (provisioned above DRAM bandwidth)."""
+    return NoCModel(NoCConfig(num_dscs=num_dscs))

@@ -1,0 +1,121 @@
+"""Per-iteration simulation timelines.
+
+``simulate_timeline`` mirrors :meth:`ExionAccelerator.simulate` but returns
+the per-iteration latency/energy/bound records, exposing the dense/sparse
+cadence the FFN-Reuse schedule creates — dense iterations are visibly
+longer (full FFN compute + CAU work + full weight fetch), which is the
+microarchitectural signature of the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.ffn_reuse import schedule_phases
+from repro.hw.accelerator import ExionAccelerator
+from repro.hw.profile import SparsityProfile, estimate_profile
+from repro.workloads.specs import ModelSpec
+
+
+@dataclass
+class IterationRecord:
+    """One denoising iteration's simulated execution."""
+
+    index: int
+    is_dense: bool
+    compute_s: float
+    dram_s: float
+    latency_s: float
+    dram_bytes: int
+    macs_computed: int
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_s >= self.dram_s else "memory"
+
+
+@dataclass
+class Timeline:
+    """All iteration records of one simulated generation."""
+
+    accelerator: str
+    model: str
+    records: list = field(default_factory=list)
+
+    @property
+    def total_latency_s(self) -> float:
+        return sum(r.latency_s for r in self.records)
+
+    def dense_records(self) -> list:
+        return [r for r in self.records if r.is_dense]
+
+    def sparse_records(self) -> list:
+        return [r for r in self.records if not r.is_dense]
+
+    @property
+    def dense_sparse_latency_ratio(self) -> float:
+        """Mean dense-iteration latency over mean sparse-iteration latency
+        (steady-state, excluding the first iteration's weight fill)."""
+        dense = [r.latency_s for r in self.dense_records() if r.index > 0]
+        sparse = [r.latency_s for r in self.sparse_records() if r.index > 0]
+        if not dense or not sparse:
+            return 1.0
+        return (sum(dense) / len(dense)) / (sum(sparse) / len(sparse))
+
+
+def simulate_timeline(
+    accelerator: ExionAccelerator,
+    spec: ModelSpec,
+    profile: Optional[SparsityProfile] = None,
+    enable_ffn_reuse: bool = True,
+    enable_eager_prediction: bool = True,
+    batch: int = 1,
+    iterations: Optional[int] = None,
+) -> Timeline:
+    """Per-iteration records of one simulated generation."""
+    if profile is None:
+        profile = estimate_profile(spec)
+    total_iters = iterations if iterations is not None else spec.total_iterations
+    if enable_ffn_reuse:
+        phases = schedule_phases(total_iters, spec.sparse_iters_n)
+    else:
+        phases = [True] * total_iters
+
+    costs = {
+        False: accelerator.dsc.iteration_cost(
+            spec, profile, enable_ffn_reuse, enable_eager_prediction,
+            sparse_phase=True, batch=batch,
+        ),
+        True: accelerator.dsc.iteration_cost(
+            spec, profile, enable_ffn_reuse, enable_eager_prediction,
+            sparse_phase=False, batch=batch,
+        ),
+    }
+    weight_bytes_iter = costs[True].weight_bytes
+    cached_fraction = min(
+        1.0, accelerator.gsc_bytes / max(weight_bytes_iter, 1)
+    )
+
+    timeline = Timeline(accelerator=accelerator.name, model=spec.name)
+    for index, is_dense in enumerate(phases):
+        cost = costs[is_dense]
+        compute_s, _ = accelerator._compute_seconds(cost)
+        dram_bytes = cost.activation_bytes
+        if index == 0:
+            dram_bytes += cost.weight_bytes
+        else:
+            dram_bytes += int(cost.weight_bytes * (1.0 - cached_fraction))
+        dram_s = accelerator.dram.transfer_seconds(dram_bytes)
+        timeline.records.append(
+            IterationRecord(
+                index=index,
+                is_dense=is_dense,
+                compute_s=compute_s,
+                dram_s=dram_s,
+                latency_s=max(compute_s, dram_s),
+                dram_bytes=dram_bytes,
+                macs_computed=cost.macs_computed,
+            )
+        )
+    return timeline

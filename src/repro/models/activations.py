@@ -1,0 +1,52 @@
+"""Activation functions used by the diffusion substrate.
+
+The FFN-Reuse algorithm (paper Section III-A) keys off the output of the
+non-linear layer between the two FFN linears, which in the benchmark models
+is GELU or GEGLU. Both are implemented here along with the other
+non-linearities the networks need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian Error Linear Unit (tanh approximation).
+
+    The tanh form is what the benchmark diffusion models ship with and is
+    numerically close enough to the erf form that the FFN-Reuse bitmask is
+    unaffected.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * x**3)))
+
+
+def geglu(x: np.ndarray, gate: np.ndarray) -> np.ndarray:
+    """GEGLU variant: ``x * gelu(gate)`` (Shazeer, 2020).
+
+    Stable Diffusion's transformer blocks use GEGLU in place of plain GELU;
+    the first FFN linear produces both ``x`` and ``gate`` halves.
+    """
+    return np.asarray(x, dtype=np.float64) * gelu(gate)
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish, used inside ResBlocks."""
+    x = np.asarray(x, dtype=np.float64)
+    return x / (1.0 + np.exp(-x))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)

@@ -1,0 +1,79 @@
+"""Feed-forward network with an injectable execution strategy.
+
+The FFN is the dominant compute in diffusion transformer blocks (paper
+Fig. 4, up to 67% of operations), and the FFN-Reuse algorithm replaces its
+execution across iterations via the ``executor`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.models.activations import geglu, gelu
+from repro.models.linear import Linear
+
+
+@dataclass
+class FFNTrace:
+    """Intermediate tensors and skip statistics from one FFN call."""
+
+    hidden: np.ndarray  # output of the non-linearity, the FFN-Reuse signal
+    output_sparsity: float = 0.0
+    skipped_hidden_elements: int = 0
+    total_hidden_elements: int = 0
+    reused_from_dense: bool = False
+
+
+FFNExecutor = Callable[["FeedForward", np.ndarray], tuple]
+
+
+class FeedForward:
+    """Two-linear FFN with GELU or GEGLU in between.
+
+    For ``activation="geglu"`` the first linear produces ``2 * hidden_dim``
+    features (value and gate halves), matching Stable Diffusion's blocks.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        activation: str = "gelu",
+    ) -> None:
+        if activation not in ("gelu", "geglu"):
+            raise ValueError(f"unsupported FFN activation: {activation!r}")
+        self.dim = dim
+        self.hidden_dim = hidden_dim
+        self.activation = activation
+        first_out = 2 * hidden_dim if activation == "geglu" else hidden_dim
+        self.linear1 = Linear(dim, first_out, rng)
+        self.linear2 = Linear(hidden_dim, dim, rng)
+
+    def __call__(
+        self, x: np.ndarray, executor: Optional[FFNExecutor] = None
+    ) -> tuple[np.ndarray, FFNTrace]:
+        if executor is not None:
+            return executor(self, x)
+        return self.forward_exact(x)
+
+    def nonlinear(self, pre: np.ndarray) -> np.ndarray:
+        """Apply the configured non-linearity to the first linear's output."""
+        if self.activation == "geglu":
+            value, gate = np.split(pre, 2, axis=-1)
+            return geglu(value, gate)
+        return gelu(pre)
+
+    def forward_exact(self, x: np.ndarray) -> tuple[np.ndarray, FFNTrace]:
+        """Dense reference FFN."""
+        hidden = self.nonlinear(self.linear1(x))
+        out = self.linear2(hidden)
+        trace = FFNTrace(hidden=hidden, total_hidden_elements=int(hidden.size))
+        return out, trace
+
+    def macs(self, tokens: int) -> int:
+        """Analytic MAC count for a ``(tokens, dim)`` input."""
+        return self.linear1.macs(tokens) + self.linear2.macs(tokens)

@@ -1,0 +1,113 @@
+"""Convolutional ResBlock for Type-2 (UNet-with-ResBlock) networks.
+
+Stable Diffusion, Make-an-Audio and VideoCrafter2 interleave ResBlocks with
+transformer blocks. EXION applies no sparsity optimization to them (paper
+Section V-C notes the resulting efficiency drop), so the reproduction needs
+them both for correctness of the substrate and for the Fig. 18/19 shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.activations import silu
+
+
+class Conv2d:
+    """3x3 same-padding convolution via im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: np.random.Generator,
+        kernel_size: int = 3,
+    ) -> None:
+        if kernel_size % 2 != 1:
+            raise ValueError("kernel_size must be odd for same padding")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        fan_in = in_channels * kernel_size * kernel_size
+        bound = float(np.sqrt(6.0 / (fan_in + out_channels)))
+        self.weight = rng.uniform(
+            -bound, bound, size=(out_channels, in_channels, kernel_size, kernel_size)
+        )
+        self.bias = np.zeros(out_channels)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Apply to ``(channels, height, width)`` input."""
+        c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        k = self.kernel_size
+        pad = k // 2
+        padded = np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+        # im2col: (c*k*k, h*w)
+        cols = np.empty((c * k * k, h * w))
+        idx = 0
+        for dy in range(k):
+            for dx in range(k):
+                patch = padded[:, dy : dy + h, dx : dx + w]
+                cols[idx * c : (idx + 1) * c] = patch.reshape(c, h * w)
+                idx += 1
+        # weight reshaped to match the (dy, dx, c) layout of cols
+        w_mat = self.weight.transpose(2, 3, 1, 0).reshape(c * k * k, self.out_channels)
+        out = (w_mat.T @ cols) + self.bias[:, None]
+        return out.reshape(self.out_channels, h, w)
+
+    def macs(self, height: int, width: int) -> int:
+        """MAC count for one call on a ``height x width`` map."""
+        return (
+            height
+            * width
+            * self.out_channels
+            * self.in_channels
+            * self.kernel_size
+            * self.kernel_size
+        )
+
+
+class GroupNorm:
+    """Group normalization over channel groups of a ``(c, h, w)`` map."""
+
+    def __init__(self, channels: int, groups: int = 8, eps: float = 1e-5) -> None:
+        if channels % groups != 0:
+            groups = 1
+        self.channels = channels
+        self.groups = groups
+        self.eps = eps
+        self.gamma = np.ones(channels)
+        self.beta = np.zeros(channels)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        c, h, w = x.shape
+        grouped = x.reshape(self.groups, c // self.groups, h, w)
+        mean = grouped.mean(axis=(1, 2, 3), keepdims=True)
+        var = grouped.var(axis=(1, 2, 3), keepdims=True)
+        normed = ((grouped - mean) / np.sqrt(var + self.eps)).reshape(c, h, w)
+        return normed * self.gamma[:, None, None] + self.beta[:, None, None]
+
+
+class ResBlock:
+    """GroupNorm -> SiLU -> Conv, timestep injection, second conv, skip."""
+
+    def __init__(
+        self, channels: int, timestep_dim: int, rng: np.random.Generator
+    ) -> None:
+        self.channels = channels
+        self.norm1 = GroupNorm(channels)
+        self.conv1 = Conv2d(channels, channels, rng)
+        bound = float(np.sqrt(6.0 / (timestep_dim + channels)))
+        self.time_proj = rng.uniform(-bound, bound, size=(timestep_dim, channels))
+        self.norm2 = GroupNorm(channels)
+        self.conv2 = Conv2d(channels, channels, rng)
+
+    def __call__(self, x: np.ndarray, t_embed: np.ndarray) -> np.ndarray:
+        h = self.conv1(silu(self.norm1(x)))
+        h = h + (t_embed @ self.time_proj)[:, None, None]
+        h = self.conv2(silu(self.norm2(h)))
+        return x + h
+
+    def macs(self, height: int, width: int) -> int:
+        return self.conv1.macs(height, width) + self.conv2.macs(height, width)

@@ -1,0 +1,112 @@
+"""Transformer block of the paper's Fig. 3 (b).
+
+Pre-norm design: self-attention, optional cross-attention on a conditioning
+context, then the FFN, each with a residual add. DiT-style models additionally
+modulate the block with adaptive layer-norm driven by the timestep embedding,
+which is the mechanism that makes activations drift smoothly across denoising
+iterations (the redundancy FFN-Reuse exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.models.attention import AttentionExecutor, AttentionTrace, MultiHeadAttention
+from repro.models.ffn import FeedForward, FFNExecutor, FFNTrace
+from repro.models.norm import AdaLNModulation, LayerNorm
+
+
+@dataclass
+class Executors:
+    """Per-block bundle of optional sparsity-aware executors."""
+
+    self_attention: Optional[AttentionExecutor] = None
+    cross_attention: Optional[AttentionExecutor] = None
+    ffn: Optional[FFNExecutor] = None
+
+
+@dataclass
+class BlockTrace:
+    """Traces from one transformer-block invocation."""
+
+    self_attention: AttentionTrace
+    ffn: FFNTrace
+    cross_attention: Optional[AttentionTrace] = None
+
+
+class TransformerBlock:
+    """One transformer block over ``(tokens, dim)`` activations."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ffn_mult: int,
+        rng: np.random.Generator,
+        activation: str = "gelu",
+        context_dim: Optional[int] = None,
+        timestep_dim: Optional[int] = None,
+    ) -> None:
+        self.dim = dim
+        self.norm1 = LayerNorm(dim)
+        self.self_attn = MultiHeadAttention(dim, num_heads, rng)
+        self.cross_attn: Optional[MultiHeadAttention] = None
+        self.norm_cross: Optional[LayerNorm] = None
+        if context_dim is not None:
+            self.norm_cross = LayerNorm(dim)
+            self.cross_attn = MultiHeadAttention(
+                dim, num_heads, rng, context_dim=context_dim
+            )
+        self.norm2 = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_mult * dim, rng, activation=activation)
+        self.adaln: Optional[AdaLNModulation] = None
+        if timestep_dim is not None:
+            self.adaln = AdaLNModulation(timestep_dim, dim, rng)
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        context: Optional[np.ndarray] = None,
+        t_embed: Optional[np.ndarray] = None,
+        executors: Optional[Executors] = None,
+    ) -> tuple[np.ndarray, BlockTrace]:
+        ex = executors or Executors()
+
+        h = self.norm1(x)
+        if self.adaln is not None and t_embed is not None:
+            shift, scale, gate = self.adaln(t_embed)
+            h = h * (1.0 + scale) + shift
+        else:
+            gate = 1.0
+        attn_out, attn_trace = self.self_attn(h, executor=ex.self_attention)
+        x = x + gate * attn_out
+
+        cross_trace: Optional[AttentionTrace] = None
+        if self.cross_attn is not None and context is not None:
+            assert self.norm_cross is not None
+            cross_out, cross_trace = self.cross_attn(
+                self.norm_cross(x), context=context, executor=ex.cross_attention
+            )
+            x = x + cross_out
+
+        ffn_out, ffn_trace = self.ffn(self.norm2(x), executor=ex.ffn)
+        x = x + ffn_out
+
+        return x, BlockTrace(
+            self_attention=attn_trace, ffn=ffn_trace, cross_attention=cross_trace
+        )
+
+    def macs(self, tokens: int, context_tokens: Optional[int] = None) -> dict:
+        """Per-call MAC counts grouped as in the paper's Fig. 4."""
+        counts = self.self_attn.macs(tokens)
+        if self.cross_attn is not None and context_tokens is not None:
+            cross = self.cross_attn.macs(tokens, context_tokens)
+            counts = {
+                "qkv_projection": counts["qkv_projection"] + cross["qkv_projection"],
+                "attention": counts["attention"] + cross["attention"],
+            }
+        counts["ffn"] = self.ffn.macs(tokens)
+        return counts

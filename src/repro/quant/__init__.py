@@ -1,0 +1,18 @@
+"""Post-training quantization matching the EXION datapath.
+
+The hardware runs MMUL operands at INT12 (SDUE and EPRE) while the CFSE
+computes special functions at INT16/INT32 (paper Table I footnote 7 and
+Section V-A). :func:`apply_ptq` fake-quantizes a model's weights in place;
+activation quantization is applied by :class:`repro.core.pipeline.ExionPipeline`
+via ``activation_bits``.
+"""
+
+from repro.quant.quantize import (
+    QuantSpec,
+    apply_ptq,
+    dequantize,
+    fake_quantize,
+    quantize,
+)
+
+__all__ = ["QuantSpec", "apply_ptq", "dequantize", "fake_quantize", "quantize"]

@@ -1,0 +1,88 @@
+"""Symmetric fixed-point quantization helpers.
+
+EXION's datapath uses INT mixed precision: 12-bit MMUL operands in the
+SDUE/EPRE and 16- or 32-bit arithmetic in the CFSE (paper Table I,
+Section V-A "post-training quantization, reducing MMUL operations to
+12-bit INT"). Quantization here is *fake-quant*: values are rounded to the
+integer grid and carried as floats, so every downstream module observes
+exactly the precision the hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Datapath widths from the paper.
+MMUL_BITS = 12  # SDUE / EPRE operands
+SIMD_BITS = 16  # CFSE two-way mode
+ACCUM_BITS = 32  # CFSE one-way mode / accumulators
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """Quantization parameters for one tensor."""
+
+    bits: int
+    scale: float
+
+    @property
+    def qmax(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+
+def quantize(x: np.ndarray, bits: int) -> tuple[np.ndarray, QuantSpec]:
+    """Quantize to signed integers with a per-tensor symmetric scale."""
+    if not 2 <= bits <= 32:
+        raise ValueError("bits must be in [2, 32]")
+    x = np.asarray(x, dtype=np.float64)
+    qmax = (1 << (bits - 1)) - 1
+    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+    scale = max_abs / qmax if max_abs > 0.0 else 1.0
+    ints = np.clip(np.round(x / scale), -qmax, qmax).astype(np.int64)
+    return ints, QuantSpec(bits=bits, scale=scale)
+
+
+def dequantize(ints: np.ndarray, spec: QuantSpec) -> np.ndarray:
+    """Back to the float domain."""
+    return np.asarray(ints, dtype=np.float64) * spec.scale
+
+
+def fake_quantize(x: np.ndarray, bits: int) -> np.ndarray:
+    """Round-trip through the integer grid (quantize then dequantize)."""
+    ints, spec = quantize(x, bits)
+    return dequantize(ints, spec)
+
+
+def quantization_error(x: np.ndarray, bits: int) -> float:
+    """RMS error introduced by fake-quantizing ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    return float(np.sqrt(np.mean((x - fake_quantize(x, bits)) ** 2)))
+
+
+def apply_ptq(model, mmul_bits: int = MMUL_BITS) -> None:
+    """Fake-quantize every MMUL weight of a benchmark model, in place.
+
+    Covers the transformer blocks' QKV/output projections and FFN linears,
+    the ResBlock convolutions, and the network's projection layers —
+    everything the SDUE executes. Call once after :func:`build_model`;
+    activation quantization is a pipeline concern (``activation_bits``).
+    """
+    network = model.network
+    linears = [network.time_mlp1, network.time_mlp2, network.out_proj]
+    if getattr(network, "_is_unet", False):
+        linears.extend([network.down_proj, network.up_proj])
+    for block in network.blocks:
+        attns = [block.self_attn]
+        if block.cross_attn is not None:
+            attns.append(block.cross_attn)
+        for attn in attns:
+            linears.extend([attn.wq, attn.wk, attn.wv, attn.wo])
+        linears.extend([block.ffn.linear1, block.ffn.linear2])
+    for linear in linears:
+        linear.weight = fake_quantize(linear.weight, mmul_bits)
+    for resblock in network.resblocks:
+        resblock.conv1.weight = fake_quantize(resblock.conv1.weight, mmul_bits)
+        resblock.conv2.weight = fake_quantize(resblock.conv2.weight, mmul_bits)
+        resblock.time_proj = fake_quantize(resblock.time_proj, mmul_bits)

@@ -1,0 +1,24 @@
+"""Benchmark workload specifications, generators and evaluation metrics."""
+
+from repro.workloads.metrics import (
+    beat_alignment_proxy,
+    cosine_similarity,
+    fid_proxy,
+    inception_score_proxy,
+    psnr,
+    r_precision_proxy,
+)
+from repro.workloads.specs import BENCHMARK_ORDER, MODEL_SPECS, ModelSpec, get_spec
+
+__all__ = [
+    "BENCHMARK_ORDER",
+    "MODEL_SPECS",
+    "ModelSpec",
+    "beat_alignment_proxy",
+    "cosine_similarity",
+    "fid_proxy",
+    "get_spec",
+    "inception_score_proxy",
+    "psnr",
+    "r_precision_proxy",
+]

@@ -1,0 +1,157 @@
+"""Multi-sample evaluation harness (the Table I protocol).
+
+Generates aligned sample batches (same seeds) under several optimization
+configurations and computes the full proxy-metric suite per configuration.
+Factored out of the Table I bench so examples, tests and future sweeps can
+reuse the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ExionConfig
+from repro.core.pipeline import ExionPipeline
+from repro.models.zoo import BenchmarkModel, build_model
+from repro.workloads.metrics import (
+    fid_proxy,
+    inception_score_proxy,
+    psnr,
+    r_precision_proxy,
+)
+
+
+@dataclass
+class MethodResult:
+    """Metrics of one optimization configuration over a sample batch."""
+
+    method: str
+    psnr_mean: float
+    psnr_min: float
+    fid_proxy: float
+    is_proxy: float
+    r_precision: float
+    inter_sparsity: float
+    intra_sparsity: float
+    ffn_ops_reduction: float
+
+
+@dataclass
+class EvaluationReport:
+    """All configurations' metrics for one model."""
+
+    model: str
+    n_samples: int
+    methods: list = field(default_factory=list)
+
+    def method(self, name: str) -> MethodResult:
+        for entry in self.methods:
+            if entry.method == name:
+                return entry
+        raise KeyError(name)
+
+
+#: The Table I configuration ladder.
+TABLE1_METHODS = ("vanilla", "ffn_reuse", "ffn_reuse_ep", "ffn_reuse_ep_quant")
+
+
+def _pipeline_for(model: BenchmarkModel, method: str) -> tuple:
+    name = model.spec.name
+    if method == "vanilla":
+        return ExionPipeline(model, ExionConfig.for_model(name)), True
+    if method == "ffn_reuse":
+        return (
+            ExionPipeline(
+                model,
+                ExionConfig.for_model(name, enable_eager_prediction=False),
+            ),
+            False,
+        )
+    if method == "ffn_reuse_ep":
+        return ExionPipeline(model, ExionConfig.for_model(name)), False
+    if method == "ffn_reuse_ep_quant":
+        return (
+            ExionPipeline(
+                model, ExionConfig.for_model(name), activation_bits=12
+            ),
+            False,
+        )
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _prompts(n: int) -> list:
+    base = [
+        "a corgi dog surfing a wave",
+        "he jumped over the fence in one smooth motion",
+        "an anemone fish swimming through coral",
+        "a red bicycle leaning on a brick wall",
+        "rain falling on a neon-lit street",
+        "a wooden cabin in deep snow",
+        "a hummingbird hovering at a flower",
+        "city skyline at golden hour",
+    ]
+    return [base[i % len(base)] for i in range(n)]
+
+
+def evaluate_model(
+    name: str,
+    n_samples: int = 6,
+    iterations: Optional[int] = 15,
+    methods: tuple = TABLE1_METHODS,
+    seed: int = 0,
+) -> EvaluationReport:
+    """Run the Table I protocol on one benchmark model."""
+    if n_samples < 2:
+        raise ValueError("need at least 2 samples for distribution metrics")
+    model = build_model(name, seed=seed, total_iterations=iterations)
+    prompts = _prompts(n_samples)
+    seeds = list(range(100, 100 + n_samples))
+
+    batches: dict = {}
+    stats_by_method: dict = {}
+    for method in methods:
+        pipeline, vanilla = _pipeline_for(model, method)
+        samples = []
+        last_stats = None
+        for sample_seed, prompt in zip(seeds, prompts):
+            if vanilla:
+                result = pipeline.generate_vanilla(seed=sample_seed,
+                                                   prompt=prompt)
+            else:
+                result = pipeline.generate(seed=sample_seed, prompt=prompt)
+            samples.append(result.sample)
+            last_stats = result.stats
+        batches[method] = np.stack(samples)
+        stats_by_method[method] = last_stats
+
+    if "vanilla" not in batches:
+        raise ValueError("methods must include 'vanilla' as the reference")
+    reference = batches["vanilla"]
+    conditions = np.stack(
+        [model.make_pipeline().embed_prompt(p) if model.conditioning
+         else np.full((4, 4), i, dtype=float)
+         for i, p in enumerate(prompts)]
+    )
+
+    report = EvaluationReport(model=name, n_samples=n_samples)
+    for method in methods:
+        batch = batches[method]
+        stats = stats_by_method[method]
+        psnrs = [psnr(v, s) for v, s in zip(reference, batch)]
+        report.methods.append(
+            MethodResult(
+                method=method,
+                psnr_mean=float(np.mean(psnrs)),
+                psnr_min=float(np.min(psnrs)),
+                fid_proxy=fid_proxy(reference, batch),
+                is_proxy=inception_score_proxy(batch),
+                r_precision=r_precision_proxy(batch, conditions),
+                inter_sparsity=stats.ffn_output_sparsity,
+                intra_sparsity=stats.attention_output_sparsity,
+                ffn_ops_reduction=stats.ffn_ops_reduction,
+            )
+        )
+    return report

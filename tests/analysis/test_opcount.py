@@ -1,0 +1,39 @@
+"""Unit tests for operation-count analysis (Fig. 4)."""
+
+import pytest
+
+from repro.analysis.opcount import operation_breakdown, operation_breakdown_table
+from repro.workloads.specs import BENCHMARK_ORDER, get_spec
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self):
+        info = operation_breakdown(get_spec("stable_diffusion"))
+        assert sum(info["shares"].values()) == pytest.approx(1.0)
+
+    def test_transformer_share_matches_spec(self):
+        for name in BENCHMARK_ORDER:
+            spec = get_spec(name)
+            info = operation_breakdown(spec)
+            assert info["transformer_share"] == pytest.approx(
+                spec.paper_transformer_share, abs=0.02
+            )
+
+    def test_dit_is_pure_transformer(self):
+        info = operation_breakdown(get_spec("dit"))
+        assert info["transformer_share"] == pytest.approx(1.0)
+        assert info["shares"]["etc"] == 0.0
+
+    def test_ffn_is_largest_transformer_category(self):
+        """Fig. 4: FFN layers dominate, reaching up to ~67% of transformer
+        operations."""
+        for name in BENCHMARK_ORDER:
+            info = operation_breakdown(get_spec(name))
+            assert info["ffn_share_of_transformer"] >= 0.4
+
+    def test_table_covers_all_models(self):
+        rows = operation_breakdown_table()
+        assert len(rows) == 7
+        assert {r["model"] for r in rows} == {
+            get_spec(n).display_name for n in BENCHMARK_ORDER
+        }

@@ -1,0 +1,28 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.analysis.report import format_table, percent
+
+
+class TestPercent:
+    def test_format(self):
+        assert percent(0.138) == "13.8%"
+        assert percent(0.5, digits=0) == "50%"
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]], title="T")
+        assert "T" in text
+        assert "a" in text
+        assert "3" in text
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["long_name_here", 1], ["x", 22]])
+        lines = text.splitlines()
+        assert len({line.index("v") for line in lines[:1]}) == 1
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

@@ -1,0 +1,73 @@
+"""Unit tests for the inter-iteration similarity analysis (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.similarity import (
+    adjacent_differences,
+    cosine_similarity_matrix,
+    difference_position_overlap,
+    gelu_outputs_by_iteration,
+)
+
+
+@pytest.fixture(scope="module")
+def dit_outputs():
+    from repro.models.zoo import build_model
+
+    model = build_model("dit", seed=0, total_iterations=8)
+    return gelu_outputs_by_iteration(model, block=1, seed=3, class_label=2)
+
+
+class TestGeluOutputs:
+    def test_one_output_per_iteration(self, dit_outputs):
+        assert len(dit_outputs) == 8
+
+    def test_shapes_consistent(self, dit_outputs):
+        shapes = {o.shape for o in dit_outputs}
+        assert len(shapes) == 1
+
+
+class TestSimilarityMatrix:
+    def test_symmetric_unit_diagonal(self, dit_outputs):
+        matrix = cosine_similarity_matrix(dit_outputs)
+        np.testing.assert_allclose(np.diag(matrix), np.ones(8))
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_adjacent_iterations_highly_similar(self, dit_outputs):
+        """The Fig. 7 (a) observation that justifies FFN-Reuse. The first
+        high-noise steps are less similar (as in the paper's heatmap
+        corner), so the test checks the central tendency."""
+        matrix = cosine_similarity_matrix(dit_outputs)
+        adjacent = np.diag(matrix, k=1)
+        assert adjacent.mean() > 0.75
+        assert np.median(adjacent) > 0.85
+        assert adjacent.min() > 0.3
+
+    def test_similarity_decays_with_distance(self, dit_outputs):
+        matrix = cosine_similarity_matrix(dit_outputs)
+        near = np.diag(matrix, k=1).mean()
+        far = matrix[0, -1]
+        assert near >= far - 0.05
+
+
+class TestAdjacentDifferences:
+    def test_count(self, dit_outputs):
+        assert len(adjacent_differences(dit_outputs)) == 7
+
+    def test_differences_concentrated(self, dit_outputs):
+        """Fig. 7 (b): most positions barely change; a small set changes a
+        lot (heavy-tailed difference distribution)."""
+        diffs = adjacent_differences(dit_outputs)
+        stacked = np.concatenate([d.ravel() for d in diffs])
+        mean = stacked.mean()
+        p99 = np.quantile(stacked, 0.99)
+        assert p99 > 3 * mean
+
+    def test_large_difference_positions_recur(self, dit_outputs):
+        """The paper verifies the big-difference positions are stable
+        across iterations — what makes a per-dense-phase bitmask valid."""
+        overlap = difference_position_overlap(dit_outputs, quantile=0.9)
+        # Random position sets of this size would overlap ~5% (Jaccard);
+        # the measured recurrence is well above chance.
+        assert overlap > 0.1

@@ -1,0 +1,78 @@
+"""Unit tests for ExionConfig."""
+
+import pytest
+
+from repro.core.config import ExionConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        ExionConfig()
+
+    def test_rejects_negative_sparse_n(self):
+        with pytest.raises(ValueError):
+            ExionConfig(sparse_iters_n=-1)
+
+    def test_rejects_bad_target_sparsity(self):
+        with pytest.raises(ValueError):
+            ExionConfig(ffn_target_sparsity=1.0)
+
+    def test_rejects_bad_topk(self):
+        with pytest.raises(ValueError):
+            ExionConfig(top_k_ratio=0.0)
+        with pytest.raises(ValueError):
+            ExionConfig(top_k_ratio=1.5)
+
+    def test_rejects_negative_qth(self):
+        with pytest.raises(ValueError):
+            ExionConfig(q_threshold=-0.1)
+
+    def test_rejects_unknown_lod_mode(self):
+        with pytest.raises(ValueError):
+            ExionConfig(lod_mode="three_step")
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            ExionConfig(prediction_bits=1)
+
+
+class TestForModel:
+    def test_pulls_table1_values(self):
+        cfg = ExionConfig.for_model("dit")
+        assert cfg.sparse_iters_n == 2
+        assert cfg.ffn_target_sparsity == 0.80
+        assert cfg.q_threshold == 0.15
+        assert cfg.top_k_ratio == 0.05
+
+    def test_lod_mode_override(self):
+        assert ExionConfig.for_model("dit", lod_mode="lod").lod_mode == "lod"
+
+    def test_disable_flags(self):
+        cfg = ExionConfig.for_model("mld", enable_ffn_reuse=False)
+        assert not cfg.enable_ffn_reuse
+        assert cfg.enable_eager_prediction
+
+
+class TestAblation:
+    @pytest.mark.parametrize(
+        "which,ffnr,ep",
+        [
+            ("base", False, False),
+            ("ep", False, True),
+            ("ffnr", True, False),
+            ("all", True, True),
+        ],
+    )
+    def test_variants(self, which, ffnr, ep):
+        cfg = ExionConfig.for_model("dit").ablation(which)
+        assert cfg.enable_ffn_reuse is ffnr
+        assert cfg.enable_eager_prediction is ep
+
+    def test_preserves_other_fields(self):
+        cfg = ExionConfig.for_model("dit").ablation("base")
+        assert cfg.sparse_iters_n == 2
+        assert cfg.top_k_ratio == 0.05
+
+    def test_unknown_ablation(self):
+        with pytest.raises(ValueError, match="base/ep/ffnr/all"):
+            ExionConfig().ablation("everything")

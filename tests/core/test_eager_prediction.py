@@ -1,0 +1,150 @@
+"""Unit tests for the eager-prediction algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExionConfig
+from repro.core.eager_prediction import EagerPredictor
+from repro.core.sparsity import RunStats
+from repro.models.attention import MultiHeadAttention
+
+
+def make_predictor(top_k=0.5, q_th=10.0, mode="ts_lod"):
+    config = ExionConfig(
+        top_k_ratio=top_k, q_threshold=q_th, lod_mode=mode,
+        enable_ffn_reuse=False,
+    )
+    return EagerPredictor(config, stats=RunStats())
+
+
+class TestPrediction:
+    def test_predicted_scores_shape(self, rng):
+        attn = MultiHeadAttention(16, 4, rng)
+        pred = make_predictor().predict_scores(
+            attn, rng.standard_normal((6, 16)), rng.standard_normal((6, 16))
+        )
+        assert pred.shape == (4, 6, 6)
+
+    def test_prediction_correlates_with_exact(self, rng):
+        attn = MultiHeadAttention(16, 2, rng)
+        x = rng.standard_normal((8, 16))
+        pred = make_predictor().predict_scores(attn, x, x)
+        _, trace = attn.forward_exact(x)
+        corr = np.corrcoef(pred.ravel(), trace.scores.ravel())[0, 1]
+        assert corr > 0.9
+
+
+class TestDecisions:
+    def test_top_k_count_respected(self, rng):
+        predictor = make_predictor(top_k=0.25, q_th=1e9)
+        scores = rng.standard_normal((1, 8, 8))
+        (decision,) = predictor.decide(scores)
+        # ceil(0.25 * 8) = 2 kept per row.
+        np.testing.assert_array_equal(decision.keep.sum(axis=1), np.full(8, 2))
+
+    def test_top_k_one_keeps_everything(self, rng):
+        predictor = make_predictor(top_k=1.0, q_th=1e9)
+        (decision,) = predictor.decide(rng.standard_normal((1, 4, 4)))
+        assert decision.keep.all()
+
+    def test_dominance_collapses_row(self):
+        predictor = make_predictor(top_k=0.5, q_th=1.0)
+        scores = np.array([[[10.0, 0.0, 0.0, 0.0],
+                            [1.0, 0.9, 0.8, 0.7]]])
+        (decision,) = predictor.decide(scores)
+        assert decision.one_hot_rows[0]
+        assert not decision.one_hot_rows[1]
+        assert decision.one_hot_cols[0] == 0
+        # Collapsed row keeps no exact-score elements.
+        assert decision.keep[0].sum() == 0
+
+    def test_skipped_elements_counted(self):
+        predictor = make_predictor(top_k=0.5, q_th=1e9)
+        scores = np.zeros((1, 4, 4))
+        scores[0, :, :2] = 1.0
+        (decision,) = predictor.decide(scores)
+        assert decision.skipped_elements == 8
+
+
+class TestExecutor:
+    def test_full_keep_matches_exact(self, rng):
+        """top_k=1 and an unreachable q_th must reproduce exact attention."""
+        attn = MultiHeadAttention(16, 2, rng)
+        predictor = make_predictor(top_k=1.0, q_th=1e9)
+        x = rng.standard_normal((6, 16))
+        out, _ = attn(x, executor=predictor.executor())
+        exact, _ = attn.forward_exact(x)
+        np.testing.assert_allclose(out, exact, atol=1e-9)
+
+    def test_sparse_output_close_to_exact(self, rng):
+        attn = MultiHeadAttention(16, 2, rng)
+        predictor = make_predictor(top_k=0.5, q_th=1e9)
+        x = rng.standard_normal((8, 16))
+        out, trace = attn(x, executor=predictor.executor())
+        exact, _ = attn.forward_exact(x)
+        rel = np.linalg.norm(out - exact) / np.linalg.norm(exact)
+        assert rel < 0.5
+        assert trace.output_sparsity > 0.0
+
+    def test_cross_attention_supported(self, rng):
+        attn = MultiHeadAttention(16, 2, rng, context_dim=8)
+        predictor = make_predictor(top_k=0.5, q_th=1e9)
+        x = rng.standard_normal((6, 16))
+        ctx = rng.standard_normal((4, 8))
+        out, trace = attn(x, context=ctx, executor=predictor.executor())
+        assert out.shape == (6, 16)
+        assert trace.scores.shape == (2, 6, 4)
+
+    def test_one_hot_rows_return_argmax_value_row(self, rng):
+        attn = MultiHeadAttention(8, 1, rng)
+        predictor = make_predictor(top_k=0.5, q_th=0.0)  # everything one-hot
+        x = rng.standard_normal((4, 8))
+        out, trace = attn(x, executor=predictor.executor())
+        # All rows collapsed: probabilities are one-hot.
+        assert np.all(trace.probs.sum(axis=-1) == 1.0)
+        assert np.all((trace.probs == 0) | (trace.probs == 1))
+
+    def test_probs_rows_are_distributions(self, rng):
+        attn = MultiHeadAttention(16, 2, rng)
+        predictor = make_predictor(top_k=0.5, q_th=0.5)
+        x = rng.standard_normal((8, 16))
+        _, trace = attn(x, executor=predictor.executor())
+        np.testing.assert_allclose(
+            trace.probs.sum(axis=-1), np.ones((2, 8)), atol=1e-9
+        )
+
+
+class TestStatistics:
+    def test_sparsity_tracks_top_k(self, rng):
+        attn = MultiHeadAttention(16, 2, rng)
+        predictor = make_predictor(top_k=0.25, q_th=1e9)
+        x = rng.standard_normal((8, 16))
+        attn(x, executor=predictor.executor())
+        assert predictor.stats.attention_sparsities[0] == pytest.approx(
+            0.75, abs=0.01
+        )
+
+    def test_projection_skips_accumulated(self, rng):
+        attn = MultiHeadAttention(16, 2, rng)
+        predictor = make_predictor(top_k=0.1, q_th=0.2)
+        x = rng.standard_normal((16, 16))
+        attn(x, executor=predictor.executor())
+        stats = predictor.stats
+        assert stats.q_projection.dense > 0
+        assert stats.kv_projection.dense > 0
+        assert 0.0 <= stats.q_projection_skip_rate <= 1.0
+        assert 0.0 <= stats.kv_projection_skip_rate <= 1.0
+
+    def test_prediction_overhead_counted(self, rng):
+        attn = MultiHeadAttention(16, 2, rng)
+        predictor = make_predictor()
+        attn(rng.standard_normal((4, 16)), executor=predictor.executor())
+        assert predictor.stats.prediction_overhead_macs > 0
+
+    def test_keepmasks_collected_when_enabled(self, rng):
+        attn = MultiHeadAttention(16, 2, rng)
+        config = ExionConfig(top_k_ratio=0.5, q_threshold=1e9)
+        predictor = EagerPredictor(config, collect_keepmasks=True)
+        attn(rng.standard_normal((4, 16)), executor=predictor.executor())
+        assert len(predictor.stats.attention_keepmasks) == 1
+        assert predictor.stats.attention_keepmasks[0].shape == (2, 4, 4)

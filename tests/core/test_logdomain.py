@@ -1,0 +1,156 @@
+"""Unit + property tests for log-domain arithmetic (LOD / TS-LOD)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.logdomain import (
+    approximate,
+    decompose_powers,
+    leading_one_position,
+    lod_approximate,
+    log_domain_matmul,
+    quantize_symmetric,
+    ts_lod_approximate,
+)
+
+
+class TestQuantize:
+    def test_roundtrip_small_error(self, rng):
+        x = rng.standard_normal((8, 8))
+        ints, scale = quantize_symmetric(x, 12)
+        assert np.max(np.abs(ints.astype(float) * scale - x)) < scale
+
+    def test_zero_input(self):
+        ints, scale = quantize_symmetric(np.zeros((2, 2)), 12)
+        assert scale == 1.0
+        assert np.all(ints == 0)
+
+    def test_range_respected(self, rng):
+        ints, _ = quantize_symmetric(rng.standard_normal((50,)), 8)
+        assert np.max(np.abs(ints)) <= 127
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.ones(3), 1)
+
+
+class TestLeadingOne:
+    def test_paper_example(self):
+        """Fig. 5 (a): 2 -> position 1, 3 -> position 1, 5 -> position 2."""
+        np.testing.assert_array_equal(
+            leading_one_position(np.array([2, 3, 5])), [1, 1, 2]
+        )
+
+    def test_zero_is_minus_one(self):
+        assert leading_one_position(np.array([0]))[0] == -1
+
+    def test_negative_uses_magnitude(self):
+        assert leading_one_position(np.array([-8]))[0] == 3
+
+    @given(st.integers(1, 2**40))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_bit_length(self, value):
+        assert leading_one_position(np.array([value]))[0] == value.bit_length() - 1
+
+
+class TestLOD:
+    def test_paper_example(self):
+        """Fig. 5 (a): 3 -> 2, 5 -> 4 (one-bit approximation)."""
+        np.testing.assert_array_equal(lod_approximate(np.array([3, 5])), [2, 4])
+
+    def test_sign_preserved(self):
+        np.testing.assert_array_equal(lod_approximate(np.array([-5])), [-4])
+
+    def test_powers_of_two_exact(self):
+        x = np.array([1, 2, 4, 8, 1024])
+        np.testing.assert_array_equal(lod_approximate(x), x)
+
+    @given(st.integers(-(2**30), 2**30))
+    @settings(max_examples=100, deadline=None)
+    def test_error_under_half(self, value):
+        approx = int(lod_approximate(np.array([value]))[0])
+        assert abs(approx - value) <= abs(value) / 2 + 1e-9
+
+
+class TestTSLOD:
+    def test_paper_example(self):
+        """Fig. 15: 3 -> 3 exact, 5 -> 5 exact, 13 -> 12 with two bits."""
+        np.testing.assert_array_equal(
+            ts_lod_approximate(np.array([3, 5, 13])), [3, 5, 12]
+        )
+
+    def test_two_bit_values_exact(self):
+        x = np.array([3, 5, 6, 9, 10, 12, 96])
+        np.testing.assert_array_equal(ts_lod_approximate(x), x)
+
+    @given(st.integers(-(2**30), 2**30))
+    @settings(max_examples=100, deadline=None)
+    def test_strictly_better_than_lod(self, value):
+        x = np.array([value])
+        lod_err = abs(int(lod_approximate(x)[0]) - value)
+        ts_err = abs(int(ts_lod_approximate(x)[0]) - value)
+        assert ts_err <= lod_err
+
+    @given(st.integers(-(2**30), 2**30))
+    @settings(max_examples=100, deadline=None)
+    def test_error_under_quarter(self, value):
+        approx = int(ts_lod_approximate(np.array([value]))[0])
+        assert abs(approx - value) <= abs(value) / 4 + 1e-9
+
+    def test_exact_mode_is_identity(self):
+        x = np.array([17, -23])
+        np.testing.assert_array_equal(approximate(x, "exact"), x)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            approximate(np.array([1]), "triple")
+
+
+class TestDecomposePowers:
+    def test_example(self):
+        assert decompose_powers(13, 2) == [3, 2]  # 8 + 4
+
+    def test_single_term(self):
+        assert decompose_powers(13, 1) == [3]
+
+    def test_zero(self):
+        assert decompose_powers(0) == []
+
+    def test_negative_uses_magnitude(self):
+        assert decompose_powers(-6, 2) == [2, 1]
+
+    @given(st.integers(1, 2**30), st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_reconstruction_lower_bound(self, value, terms):
+        positions = decompose_powers(value, terms)
+        recon = sum(1 << p for p in positions)
+        assert recon <= value
+        assert positions == sorted(positions, reverse=True)
+
+
+class TestLogDomainMatmul:
+    def test_exact_mode_close_to_float(self, rng):
+        a = rng.standard_normal((6, 8))
+        b = rng.standard_normal((8, 4))
+        out = log_domain_matmul(a, b, mode="exact", bits=14)
+        np.testing.assert_allclose(out, a @ b, atol=0.05)
+
+    def test_ts_lod_more_accurate_than_lod(self, rng):
+        a = rng.standard_normal((16, 32))
+        b = rng.standard_normal((32, 16))
+        exact = a @ b
+        err_lod = np.abs(log_domain_matmul(a, b, "lod") - exact).mean()
+        err_ts = np.abs(log_domain_matmul(a, b, "ts_lod") - exact).mean()
+        assert err_ts < err_lod
+
+    def test_preserves_ranking_mostly(self, rng):
+        """Predicted scores must preserve the argmax most of the time —
+        the property EP's top-k selection relies on."""
+        a = rng.standard_normal((32, 16))
+        b = rng.standard_normal((16, 32))
+        exact = a @ b
+        pred = log_domain_matmul(a, b, "ts_lod")
+        agreement = np.mean(exact.argmax(axis=1) == pred.argmax(axis=1))
+        assert agreement > 0.8

@@ -1,0 +1,52 @@
+"""Unit tests for sparsity statistics."""
+
+import pytest
+
+from repro.core.sparsity import OpCounter, RunStats
+
+
+class TestOpCounter:
+    def test_reduction(self):
+        counter = OpCounter()
+        counter.add(100, 25)
+        assert counter.reduction == 0.75
+
+    def test_zero_dense_is_zero_reduction(self):
+        assert OpCounter().reduction == 0.0
+
+    def test_rejects_computed_exceeding_dense(self):
+        with pytest.raises(ValueError):
+            OpCounter().add(10, 11)
+
+    def test_accumulates(self):
+        counter = OpCounter()
+        counter.add(100, 50)
+        counter.add(100, 0)
+        assert counter.reduction == 0.75
+
+
+class TestRunStats:
+    def test_empty_stats_are_zero(self):
+        stats = RunStats()
+        assert stats.ffn_output_sparsity == 0.0
+        assert stats.attention_output_sparsity == 0.0
+        assert stats.ffn_ops_reduction == 0.0
+
+    def test_mean_sparsities(self):
+        stats = RunStats()
+        stats.ffn_sparsities.extend([0.8, 1.0])
+        stats.attention_sparsities.extend([0.2, 0.4])
+        assert stats.ffn_output_sparsity == pytest.approx(0.9)
+        assert stats.attention_output_sparsity == pytest.approx(0.3)
+
+    def test_combined_ffn_reduction(self):
+        stats = RunStats()
+        stats.ffn_layer1.add(100, 10)
+        stats.ffn_layer2.add(100, 30)
+        assert stats.ffn_ops_reduction == pytest.approx(0.8)
+
+    def test_summary_keys(self):
+        summary = RunStats().summary()
+        assert "ffn_output_sparsity" in summary
+        assert "q_projection_skip_rate" in summary
+        assert "dense_iterations" in summary

@@ -1,0 +1,65 @@
+"""Unit tests for threshold determination."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import (
+    ThresholdCalibrator,
+    ThresholdTable,
+    quantile_threshold,
+)
+from repro.models.zoo import build_model
+
+
+class TestQuantileThreshold:
+    def test_hits_target_sparsity(self, rng):
+        values = rng.standard_normal(10000)
+        th = quantile_threshold(values, 0.9)
+        assert np.mean(np.abs(values) <= th) == pytest.approx(0.9, abs=0.01)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            quantile_threshold(np.ones(4), -0.1)
+
+
+class TestThresholdTable:
+    def test_set_get_exact(self):
+        table = ThresholdTable(target_sparsity=0.9)
+        table.set(0, 1, 0.5)
+        assert table.get(0, 1) == 0.5
+
+    def test_falls_back_to_earlier_dense_index(self):
+        table = ThresholdTable(target_sparsity=0.9)
+        table.set(0, 1, 0.5)
+        table.set(2, 1, 0.7)
+        assert table.get(1, 1) == 0.5
+        assert table.get(5, 1) == 0.7
+
+    def test_missing_block_returns_none(self):
+        table = ThresholdTable(target_sparsity=0.9)
+        table.set(0, 1, 0.5)
+        assert table.get(0, 2) is None
+
+    def test_len(self):
+        table = ThresholdTable(target_sparsity=0.9)
+        table.set(0, 0, 0.1)
+        table.set(0, 1, 0.2)
+        assert len(table) == 2
+
+
+class TestCalibrator:
+    def test_builds_table_for_every_dense_iteration_and_block(self):
+        model = build_model("dit", seed=0, total_iterations=6)
+        calib = ThresholdCalibrator(target_sparsity=0.8, dense_period=3)
+        table = calib.calibrate(model, seed=1)
+        # 6 iterations, period 3 -> dense at 0 and 3 -> 2 dense indices.
+        assert len(table) == 2 * model.network.depth
+
+    def test_thresholds_positive(self):
+        model = build_model("dit", seed=0, total_iterations=3)
+        table = ThresholdCalibrator(0.8, 3).calibrate(model, seed=1)
+        assert all(v > 0 for v in table.values.values())
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            ThresholdCalibrator(0.8, 0)

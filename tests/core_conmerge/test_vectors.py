@@ -1,0 +1,49 @@
+"""Unit tests for conflict-vector / control-map datatypes."""
+
+import pytest
+
+from repro.core.conmerge.vectors import CellAssignment, ControlMap
+
+
+class TestCellAssignment:
+    def test_original_line_when_input_matches_lane(self):
+        cell = CellAssignment(lane=3, col_slot=0, input_row=3, origin_col=7,
+                              buffer_index=0)
+        assert not cell.uses_conflict_line
+
+    def test_conflict_line_when_relocated(self):
+        cell = CellAssignment(lane=4, col_slot=0, input_row=3, origin_col=7,
+                              buffer_index=1)
+        assert cell.uses_conflict_line
+
+    def test_rejects_bad_buffer(self):
+        with pytest.raises(ValueError, match="triple-buffered"):
+            CellAssignment(0, 0, 0, 0, buffer_index=3)
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            CellAssignment(-1, 0, 0, 0, 0)
+
+
+class TestControlMap:
+    def test_from_assignment_original(self):
+        cell = CellAssignment(2, 1, 2, 5, 1)
+        cm = ControlMap.from_assignment(cell)
+        assert cm.i_sw == 0
+        assert cm.w_sw == 1
+        assert cm.active
+
+    def test_from_assignment_conflict(self):
+        cell = CellAssignment(2, 1, 7, 5, 2)
+        cm = ControlMap.from_assignment(cell)
+        assert cm.i_sw == 1
+        assert cm.w_sw == 2
+
+    def test_idle(self):
+        assert not ControlMap.idle().active
+
+    def test_rejects_bad_switch_values(self):
+        with pytest.raises(ValueError):
+            ControlMap(i_sw=2, w_sw=0)
+        with pytest.raises(ValueError):
+            ControlMap(i_sw=0, w_sw=3)

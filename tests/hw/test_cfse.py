@@ -1,0 +1,59 @@
+"""Unit tests for the configurable SIMD engine model."""
+
+import numpy as np
+import pytest
+
+from repro.hw.cfse import CFSEModel
+from repro.models.activations import gelu, softmax
+
+
+class TestThroughput:
+    def test_two_way_doubles(self):
+        assert CFSEModel(two_way_16bit=True).throughput_per_cycle == 32
+        assert CFSEModel(two_way_16bit=False).throughput_per_cycle == 16
+
+    def test_rejects_bad_lanes(self):
+        with pytest.raises(ValueError):
+            CFSEModel(lanes=0)
+
+
+class TestFunctionalPaths:
+    def test_softmax_matches(self, rng):
+        cfse = CFSEModel()
+        x = rng.standard_normal((4, 8))
+        np.testing.assert_allclose(cfse.run_softmax(x), softmax(x))
+
+    def test_gelu_matches(self, rng):
+        cfse = CFSEModel()
+        x = rng.standard_normal((4, 8))
+        np.testing.assert_allclose(cfse.run_gelu(x), gelu(x))
+
+    def test_layernorm_normalizes(self, rng):
+        cfse = CFSEModel()
+        out = cfse.run_layernorm(rng.standard_normal((4, 8)) * 3 + 1)
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-9)
+
+    def test_residual_add(self, rng):
+        cfse = CFSEModel()
+        a = rng.standard_normal((4, 8))
+        b = rng.standard_normal((4, 8))
+        np.testing.assert_allclose(cfse.run_residual_add(a, b), a + b)
+
+
+class TestCycleAccounting:
+    def test_cycles_scale_with_elements(self):
+        cfse = CFSEModel()
+        small = cfse.function_cycles("softmax", 32)
+        large = cfse.function_cycles("softmax", 3200)
+        assert large == pytest.approx(100 * small, rel=0.05)
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            CFSEModel().function_cycles("fft", 100)
+
+    def test_stats_accumulate(self, rng):
+        cfse = CFSEModel()
+        cfse.run_softmax(rng.standard_normal((4, 8)))
+        cfse.run_gelu(rng.standard_normal((4, 8)))
+        assert cfse.stats.elements == 64
+        assert cfse.stats.cycles > 0

@@ -1,0 +1,51 @@
+"""Unit tests for the top-controller program builder."""
+
+import pytest
+
+from repro.hw.controller import Instruction, Opcode, ProgramBuilder
+from repro.workloads.specs import BENCHMARK_ORDER, get_spec
+
+
+class TestProgramBuilder:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_program_fits_instmem(self, name):
+        """Every model's per-iteration program fits the 3 KB INSTMEM."""
+        builder = ProgramBuilder(get_spec(name))
+        assert builder.program_bytes(False) <= 3 * 1024
+        assert builder.program_bytes(True) <= 3 * 1024
+
+    def test_dense_phase_runs_cau(self):
+        program = ProgramBuilder(get_spec("dit")).build_iteration(False)
+        assert any(i.opcode is Opcode.RUN_CAU for i in program)
+
+    def test_sparse_phase_uses_merged_sdue(self):
+        program = ProgramBuilder(get_spec("dit")).build_iteration(True)
+        assert any(i.opcode is Opcode.RUN_SDUE_MERGED for i in program)
+        assert not any(i.opcode is Opcode.RUN_CAU for i in program)
+
+    def test_every_workload_loads_inputs_and_stores(self):
+        from repro.hw.mapping import iteration_workloads
+
+        spec = get_spec("mdm")
+        program = ProgramBuilder(spec).build_iteration(False)
+        loads = sum(1 for i in program if i.opcode is Opcode.LOAD_INPUT)
+        stores = sum(1 for i in program if i.opcode is Opcode.STORE_OUTPUT)
+        n_workloads = len(iteration_workloads(spec))
+        assert loads == n_workloads
+        assert stores == n_workloads
+
+    def test_weightless_mmuls_skip_weight_load(self):
+        spec = get_spec("dit")
+        program = ProgramBuilder(spec).build_iteration(False)
+        weight_loads = sum(
+            1 for i in program if i.opcode is Opcode.LOAD_WEIGHT
+        )
+        input_loads = sum(1 for i in program if i.opcode is Opcode.LOAD_INPUT)
+        assert weight_loads < input_loads  # attn_score / attn_av skip it
+
+    def test_program_ends_with_sync(self):
+        program = ProgramBuilder(get_spec("mld")).build_iteration(True)
+        assert program[-1].opcode is Opcode.SYNC
+
+    def test_instruction_encoding_size(self):
+        assert Instruction.ENCODED_BYTES == 12

@@ -1,0 +1,46 @@
+"""Unit tests for the DRAM model."""
+
+import pytest
+
+from repro.hw.dram import DRAMModel, GDDR6, HBM2E, LPDDR5
+
+
+class TestDRAMModel:
+    def test_transfer_time_scales_with_bytes(self):
+        dram = DRAMModel("test", bandwidth_gbps=100.0, energy_pj_per_bit=5.0)
+        t1 = dram.transfer_seconds(1e9)
+        t2 = dram.transfer_seconds(2e9)
+        assert t2 > t1
+        assert t2 - t1 == pytest.approx(0.01, rel=0.01)
+
+    def test_zero_bytes_zero_time(self):
+        assert LPDDR5.transfer_seconds(0) == 0.0
+
+    def test_base_latency_floor(self):
+        assert LPDDR5.transfer_seconds(1) >= LPDDR5.base_latency_ns * 1e-9
+
+    def test_transfer_energy(self):
+        dram = DRAMModel("test", bandwidth_gbps=100.0, energy_pj_per_bit=5.0)
+        # 1 byte = 8 bits x 5 pJ = 40 pJ.
+        assert dram.transfer_energy_j(1) == pytest.approx(40e-12)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LPDDR5.transfer_seconds(-1)
+        with pytest.raises(ValueError):
+            LPDDR5.transfer_energy_j(-1)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            DRAMModel("bad", bandwidth_gbps=0.0, energy_pj_per_bit=1.0)
+
+    def test_scaled_keeps_technology(self):
+        scaled = GDDR6.scaled(1000.0)
+        assert scaled.bandwidth_gbps == 1000.0
+        assert scaled.energy_pj_per_bit == GDDR6.energy_pj_per_bit
+
+    def test_paper_presets(self):
+        """Table II bandwidths: EXION4 51 GB/s, EXION24 819 GB/s."""
+        assert LPDDR5.bandwidth_gbps == 51.0
+        assert GDDR6.bandwidth_gbps == 819.0
+        assert HBM2E.bandwidth_gbps == 1935.0

@@ -1,0 +1,85 @@
+"""Unit tests for the banked DRAM timing model."""
+
+import pytest
+
+from repro.hw.dram_detail import (
+    BankedDRAM,
+    DRAMTimings,
+    GDDR6_TIMINGS,
+    LPDDR5_TIMINGS,
+    validate_stream_assumption,
+)
+
+
+class TestTimings:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            DRAMTimings("x", banks=0, row_bytes=2048, burst_bytes=64,
+                        io_gbps=50, t_rcd_ns=18, t_rp_ns=18, t_cl_ns=17)
+        with pytest.raises(ValueError):
+            DRAMTimings("x", banks=8, row_bytes=32, burst_bytes=64,
+                        io_gbps=50, t_rcd_ns=18, t_rp_ns=18, t_cl_ns=17)
+
+    def test_burst_transfer_time(self):
+        assert LPDDR5_TIMINGS.burst_transfer_ns == pytest.approx(64 / 51.0)
+
+
+class TestBankedAccess:
+    def test_first_access_misses(self):
+        dram = BankedDRAM(LPDDR5_TIMINGS)
+        dram.access_burst(0)
+        assert dram.stats.row_misses == 1
+        assert dram.stats.row_hits == 0
+
+    def test_same_row_hits(self):
+        dram = BankedDRAM(LPDDR5_TIMINGS)
+        dram.access_burst(0)
+        # Same bank, same row: stride banks * burst.
+        stride = LPDDR5_TIMINGS.banks * LPDDR5_TIMINGS.burst_bytes
+        dram.access_burst(stride)
+        assert dram.stats.row_hits == 1
+
+    def test_row_conflict_pays_precharge(self):
+        dram = BankedDRAM(LPDDR5_TIMINGS)
+        t = LPDDR5_TIMINGS
+        first = dram.access_burst(0)
+        # Same bank, different row.
+        far = t.banks * t.row_bytes * 4
+        second = dram.access_burst(far)
+        assert second > first  # extra precharge
+
+    def test_hit_faster_than_miss(self):
+        dram = BankedDRAM(LPDDR5_TIMINGS)
+        miss = dram.access_burst(0)
+        stride = LPDDR5_TIMINGS.banks * LPDDR5_TIMINGS.burst_bytes
+        hit = dram.access_burst(stride)
+        assert hit < miss
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            BankedDRAM(LPDDR5_TIMINGS).access_burst(-1)
+
+
+class TestStream:
+    def test_sequential_hit_rate_high(self):
+        dram = BankedDRAM(GDDR6_TIMINGS)
+        dram.stream(1024 * 1024)
+        assert dram.stats.hit_rate > 0.9
+
+    def test_stream_near_peak_bandwidth(self):
+        """The assumption behind the stream-level DRAM model: sequential
+        bursts achieve >90% of the interface rate."""
+        for timings in (LPDDR5_TIMINGS, GDDR6_TIMINGS):
+            result = validate_stream_assumption(timings, megabytes=2)
+            assert result["sequential_fraction_of_peak"] > 0.9, timings.name
+
+    def test_random_far_below_sequential(self):
+        result = validate_stream_assumption(LPDDR5_TIMINGS, megabytes=2)
+        assert result["random_gbps"] < 0.5 * result["sequential_gbps"]
+
+    def test_stream_time_scales_linearly(self):
+        dram = BankedDRAM(GDDR6_TIMINGS)
+        t1 = dram.stream(1024 * 1024)
+        dram2 = BankedDRAM(GDDR6_TIMINGS)
+        t2 = dram2.stream(2 * 1024 * 1024)
+        assert t2 == pytest.approx(2 * t1, rel=0.05)

@@ -1,0 +1,62 @@
+"""Unit tests for instruction-driven DSC execution."""
+
+import pytest
+
+from repro.hw.controller import Opcode, ProgramBuilder
+from repro.hw.dsc import DSCModel
+from repro.hw.executor import (
+    ExecutionTrace,
+    InstructionExecutor,
+    execute_iteration,
+)
+from repro.hw.profile import estimate_profile
+from repro.workloads.specs import BENCHMARK_ORDER, get_spec
+
+
+class TestInstructionExecutor:
+    @pytest.mark.parametrize("name", ["dit", "mld", "stable_diffusion"])
+    def test_sdue_cycles_match_analytic_dense_model(self, name):
+        """The microarchitectural cross-check: instruction-level dense SDUE
+        cycles equal the analytic DSC cost model's."""
+        spec = get_spec(name)
+        trace = execute_iteration(spec, sparse_phase=False)
+        cost = DSCModel().iteration_cost(
+            spec, estimate_profile(spec, seed=0), False, False, False
+        )
+        assert trace.sdue_cycles == cost.sdue_cycles
+
+    def test_repeat_multiplies_work(self):
+        spec = get_spec("dit")
+        builder = ProgramBuilder(spec)
+        program = builder.build_iteration(False)
+        trace = InstructionExecutor(spec).execute(program)
+        single_block = [
+            i for i in program if i.opcode is Opcode.RUN_SDUE_DENSE
+        ][0]
+        assert single_block.repeat == spec.paper_depth
+
+    def test_all_models_execute(self):
+        for name in BENCHMARK_ORDER:
+            trace = execute_iteration(get_spec(name), sparse_phase=True)
+            assert trace.sdue_cycles > 0
+            assert trace.instructions > 0
+
+    def test_dense_phase_runs_cau(self):
+        trace = execute_iteration(get_spec("dit"), sparse_phase=False)
+        assert trace.cau_cycles > 0
+        sparse = execute_iteration(get_spec("dit"), sparse_phase=True)
+        assert sparse.cau_cycles == 0
+
+    def test_critical_path_is_max_engine(self):
+        trace = ExecutionTrace(sdue_cycles=10, epre_cycles=25, cfse_cycles=5)
+        assert trace.engine_critical_path == 25
+
+    def test_loads_tracked_but_separate(self):
+        trace = execute_iteration(get_spec("mdm"), sparse_phase=False)
+        assert trace.load_cycles > 0
+        assert trace.store_cycles > 0
+
+    def test_by_opcode_histogram(self):
+        trace = execute_iteration(get_spec("mdm"), sparse_phase=False)
+        assert trace.by_opcode[Opcode.SYNC] == 1
+        assert Opcode.RUN_SDUE_DENSE in trace.by_opcode

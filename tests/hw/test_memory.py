@@ -1,0 +1,69 @@
+"""Unit tests for on-chip memory models."""
+
+import pytest
+
+from repro.hw.memory import DSCMemories, GSC_BYTES, SRAM
+
+
+class TestSRAM:
+    def test_capacity_checks(self):
+        sram = SRAM("t", size_bytes=1024, banks=4)
+        assert sram.fits(1024)
+        assert not sram.fits(1025)
+        assert sram.bank_bytes == 256
+
+    def test_buffering_multiplies_physical_size(self):
+        sram = SRAM("t", 1024, banks=4, buffering=3)
+        assert sram.total_bytes == 3072
+
+    def test_tiles_required(self):
+        sram = SRAM("t", 1000, banks=1)
+        assert sram.tiles_required(0) == 0
+        assert sram.tiles_required(1000) == 1
+        assert sram.tiles_required(1001) == 2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SRAM("t", 0, banks=1)
+        with pytest.raises(ValueError):
+            SRAM("t", 10, banks=1, buffering=4)
+        with pytest.raises(ValueError):
+            SRAM("t", 10, banks=1).tiles_required(-1)
+
+    def test_access_counters(self):
+        sram = SRAM("t", 1024, banks=4)
+        sram.record_read(3)
+        sram.record_write()
+        assert sram.reads == 3
+        assert sram.writes == 1
+
+
+class TestDSCMemories:
+    def test_paper_configuration(self):
+        """Fig. 10/11: IMEM 24KB double-buffered, WMEM 192KB triple,
+        OMEM 24KB, CVMEM 50KB, operand memories 96KB, INSTMEM 3KB."""
+        mems = DSCMemories()
+        assert mems.imem.size_bytes == 24 * 1024
+        assert mems.imem.buffering == 2
+        assert mems.wmem.size_bytes == 192 * 1024
+        assert mems.wmem.buffering == 3
+        assert mems.omem.size_bytes == 24 * 1024
+        assert mems.cvmem.size_bytes == 50 * 1024
+        assert mems.operand.size_bytes == 96 * 1024
+        assert mems.instmem.size_bytes == 3 * 1024
+
+    def test_bank_counts(self):
+        mems = DSCMemories()
+        assert mems.imem.banks == 16
+        assert mems.wmem.banks == 16
+        # 12 KB per WMEM bank as in Fig. 11.
+        assert mems.wmem.bank_bytes == 12 * 1024
+
+    def test_gsc_size(self):
+        assert GSC_BYTES == 512 * 1024
+
+    def test_total_bytes_counts_buffers(self):
+        mems = DSCMemories()
+        assert mems.total_bytes > sum(
+            s.size_bytes for s in mems.all_srams()
+        )

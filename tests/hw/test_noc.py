@@ -1,0 +1,56 @@
+"""Unit tests for the network-on-chip model."""
+
+import pytest
+
+from repro.hw.dram import GDDR6, LPDDR5
+from repro.hw.noc import NoCConfig, NoCModel, exion_noc
+
+
+class TestNoCConfig:
+    def test_bandwidths(self):
+        config = NoCConfig(num_dscs=4)
+        assert config.link_bandwidth_gbps == pytest.approx(
+            64 * 800e6 / 1e9
+        )
+        assert config.aggregate_bandwidth_gbps == pytest.approx(
+            4 * 64 * 800e6 / 1e9
+        )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            NoCConfig(num_dscs=0)
+
+
+class TestTransfers:
+    def test_broadcast_time(self):
+        noc = exion_noc(24)
+        seconds = noc.broadcast_seconds(64 * 100)
+        assert seconds == pytest.approx(100 / 800e6)
+
+    def test_unicast_parallel_across_links(self):
+        noc = exion_noc(24)
+        # Per-DSC payload time is independent of DSC count.
+        assert noc.unicast_seconds(6400) == exion_noc(4).unicast_seconds(6400)
+
+    def test_gather_symmetric_with_unicast(self):
+        noc = exion_noc(8)
+        assert noc.gather_seconds(1234) == noc.unicast_seconds(1234)
+
+    def test_zero_bytes(self):
+        assert exion_noc(4).broadcast_seconds(0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            exion_noc(4).broadcast_seconds(-1)
+
+
+class TestProvisioning:
+    def test_exion_noc_does_not_throttle_dram(self):
+        """The paper's NoC must sustain the DRAM stream: check both
+        configurations against their memory systems."""
+        assert not exion_noc(4).throttles_dram(LPDDR5.bandwidth_gbps)
+        # GDDR6 at 819 GB/s exceeds one 51.2 GB/s link, but weights
+        # stripe across DSC links in the EXION24 configuration:
+        noc24 = exion_noc(24)
+        per_link_share = GDDR6.bandwidth_gbps / 24
+        assert noc24.config.link_bandwidth_gbps > per_link_share

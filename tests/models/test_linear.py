@@ -1,0 +1,58 @@
+"""Unit tests for the Linear layer."""
+
+import numpy as np
+import pytest
+
+from repro.models.linear import Linear
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(8, 12, rng)
+        out = layer(np.zeros((5, 8)))
+        assert out.shape == (5, 12)
+
+    def test_matches_manual_matmul(self, rng):
+        layer = Linear(4, 3, rng)
+        x = rng.standard_normal((2, 4))
+        np.testing.assert_allclose(layer(x), x @ layer.weight + layer.bias)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        x = rng.standard_normal((2, 4))
+        np.testing.assert_allclose(layer(x), x @ layer.weight)
+
+    def test_rejects_wrong_input_dim(self, rng):
+        layer = Linear(4, 3, rng)
+        with pytest.raises(ValueError, match="expected last dim"):
+            layer(np.zeros((2, 5)))
+
+    def test_rejects_nonpositive_dims(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 3, rng)
+        with pytest.raises(ValueError):
+            Linear(3, -1, rng)
+
+    def test_deterministic_given_seed(self):
+        a = Linear(6, 6, np.random.default_rng(7))
+        b = Linear(6, 6, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight, b.weight)
+
+    def test_num_params(self, rng):
+        layer = Linear(4, 3, rng)
+        assert layer.num_params == 4 * 3 + 3
+        assert Linear(4, 3, rng, bias=False).num_params == 12
+
+    def test_macs(self, rng):
+        assert Linear(4, 3, rng).macs(tokens=10) == 120
+
+    def test_xavier_bound(self, rng):
+        layer = Linear(100, 100, rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.max(np.abs(layer.weight)) <= bound
+
+    def test_works_on_batched_input(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(rng.standard_normal((2, 5, 4)))
+        assert out.shape == (2, 5, 3)

@@ -1,0 +1,85 @@
+"""Unit tests for Conv2d / GroupNorm / ResBlock."""
+
+import numpy as np
+import pytest
+
+from repro.models.resblock import Conv2d, GroupNorm, ResBlock
+
+
+class TestConv2d:
+    def test_output_shape_same_padding(self, rng):
+        conv = Conv2d(3, 5, rng)
+        out = conv(rng.standard_normal((3, 8, 8)))
+        assert out.shape == (5, 8, 8)
+
+    def test_matches_naive_convolution(self, rng):
+        conv = Conv2d(2, 3, rng)
+        x = rng.standard_normal((2, 5, 5))
+        out = conv(x)
+        # Naive direct convolution at an interior point.
+        r, cidx = 2, 3
+        for oc in range(3):
+            acc = conv.bias[oc]
+            for ic in range(2):
+                for dy in range(3):
+                    for dx in range(3):
+                        acc += (
+                            conv.weight[oc, ic, dy, dx]
+                            * x[ic, r + dy - 1, cidx + dx - 1]
+                        )
+            assert out[oc, r, cidx] == pytest.approx(acc)
+
+    def test_rejects_even_kernel(self, rng):
+        with pytest.raises(ValueError, match="odd"):
+            Conv2d(2, 2, rng, kernel_size=4)
+
+    def test_rejects_wrong_channels(self, rng):
+        conv = Conv2d(3, 3, rng)
+        with pytest.raises(ValueError, match="channels"):
+            conv(np.zeros((2, 4, 4)))
+
+    def test_macs(self, rng):
+        conv = Conv2d(4, 8, rng)
+        assert conv.macs(5, 5) == 5 * 5 * 8 * 4 * 9
+
+
+class TestGroupNorm:
+    def test_normalizes_groups(self, rng):
+        norm = GroupNorm(8, groups=2)
+        out = norm(rng.standard_normal((8, 4, 4)) * 3 + 1)
+        grouped = out.reshape(2, 4, 4, 4)
+        np.testing.assert_allclose(
+            grouped.mean(axis=(1, 2, 3)), np.zeros(2), atol=1e-10
+        )
+
+    def test_falls_back_to_single_group(self):
+        norm = GroupNorm(7, groups=4)  # 7 not divisible by 4
+        assert norm.groups == 1
+
+
+class TestResBlock:
+    def test_shape_preserved(self, rng):
+        block = ResBlock(channels=4, timestep_dim=8, rng=rng)
+        x = rng.standard_normal((4, 6, 6))
+        out = block(x, rng.standard_normal(8))
+        assert out.shape == (4, 6, 6)
+
+    def test_residual_path_present(self, rng):
+        """Zeroing both convs leaves the identity."""
+        block = ResBlock(4, 8, rng)
+        block.conv1.weight[:] = 0.0
+        block.conv2.weight[:] = 0.0
+        block.time_proj[:] = 0.0
+        x = rng.standard_normal((4, 6, 6))
+        np.testing.assert_allclose(block(x, np.zeros(8)), x)
+
+    def test_timestep_injection_changes_output(self, rng):
+        block = ResBlock(4, 8, rng)
+        x = rng.standard_normal((4, 6, 6))
+        out1 = block(x, np.ones(8))
+        out2 = block(x, -np.ones(8))
+        assert not np.allclose(out1, out2)
+
+    def test_macs(self, rng):
+        block = ResBlock(4, 8, rng)
+        assert block.macs(6, 6) == 2 * 6 * 6 * 4 * 4 * 9

@@ -1,0 +1,86 @@
+"""Unit tests for DDPM / DDIM schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.models.scheduler import DDIMScheduler, DDPMScheduler
+
+
+class TestTimesteps:
+    def test_descending(self):
+        ts = DDIMScheduler().timesteps(50)
+        assert len(ts) == 50
+        assert np.all(np.diff(ts) < 0)
+
+    def test_within_train_range(self):
+        ts = DDPMScheduler().timesteps(10)
+        assert ts.max() < 1000
+        assert ts.min() >= 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DDIMScheduler().timesteps(0)
+        with pytest.raises(ValueError):
+            DDIMScheduler().timesteps(1001)
+
+    def test_rejects_tiny_train_schedule(self):
+        with pytest.raises(ValueError):
+            DDPMScheduler(num_train_timesteps=1)
+
+
+class TestAddNoise:
+    def test_interpolates_sample_and_noise(self, rng):
+        sched = DDIMScheduler()
+        x = rng.standard_normal((4, 8))
+        n = rng.standard_normal((4, 8))
+        noisy_early = sched.add_noise(x, n, t=0)
+        noisy_late = sched.add_noise(x, n, t=999)
+        # Early timestep: mostly signal. Late: mostly noise.
+        assert np.linalg.norm(noisy_early - x) < np.linalg.norm(noisy_late - x)
+
+
+class TestDDIMStep:
+    def test_deterministic(self, rng):
+        sched = DDIMScheduler()
+        x = rng.standard_normal((4, 8))
+        eps = rng.standard_normal((4, 8))
+        a = sched.step(eps, t=500, sample=x, prev_t=480)
+        b = sched.step(eps, t=500, sample=x, prev_t=480)
+        np.testing.assert_array_equal(a, b)
+
+    def test_perfect_noise_prediction_recovers_x0(self, rng):
+        """If the model predicts the exact noise, stepping to t=-1 returns
+        (clipped) x0."""
+        sched = DDIMScheduler()
+        x0 = rng.standard_normal((4, 8))
+        noise = rng.standard_normal((4, 8))
+        t = 700
+        xt = sched.add_noise(x0, noise, t)
+        recovered = sched.step(noise, t=t, sample=xt, prev_t=-1)
+        np.testing.assert_allclose(recovered, np.clip(x0, -10, 10), atol=1e-8)
+
+
+class TestDDPMStep:
+    def test_no_rng_returns_mean(self, rng):
+        sched = DDPMScheduler()
+        x = rng.standard_normal((4, 8))
+        eps = rng.standard_normal((4, 8))
+        a = sched.step(eps, t=500, sample=x, prev_t=480, rng=None)
+        b = sched.step(eps, t=500, sample=x, prev_t=480, rng=None)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rng_adds_variance(self, rng):
+        sched = DDPMScheduler()
+        x = rng.standard_normal((4, 8))
+        eps = rng.standard_normal((4, 8))
+        a = sched.step(eps, 500, x, prev_t=480, rng=np.random.default_rng(1))
+        b = sched.step(eps, 500, x, prev_t=480, rng=np.random.default_rng(2))
+        assert not np.allclose(a, b)
+
+    def test_final_step_is_deterministic(self, rng):
+        sched = DDPMScheduler()
+        x = rng.standard_normal((4, 8))
+        eps = rng.standard_normal((4, 8))
+        a = sched.step(eps, 10, x, prev_t=-1, rng=np.random.default_rng(1))
+        b = sched.step(eps, 10, x, prev_t=-1, rng=np.random.default_rng(2))
+        np.testing.assert_array_equal(a, b)

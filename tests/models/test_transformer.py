@@ -1,0 +1,85 @@
+"""Unit tests for the transformer block."""
+
+import numpy as np
+import pytest
+
+from repro.models.transformer import BlockTrace, Executors, TransformerBlock
+
+
+class TestTransformerBlock:
+    def test_output_shape(self, rng):
+        block = TransformerBlock(16, 4, 4, rng)
+        out, trace = block(rng.standard_normal((6, 16)))
+        assert out.shape == (6, 16)
+        assert isinstance(trace, BlockTrace)
+
+    def test_trace_has_no_cross_when_unconfigured(self, rng):
+        block = TransformerBlock(16, 4, 4, rng)
+        _, trace = block(rng.standard_normal((6, 16)))
+        assert trace.cross_attention is None
+
+    def test_cross_attention_runs_with_context(self, rng):
+        block = TransformerBlock(16, 4, 4, rng, context_dim=8)
+        ctx = rng.standard_normal((3, 8))
+        _, trace = block(rng.standard_normal((6, 16)), context=ctx)
+        assert trace.cross_attention is not None
+        assert trace.cross_attention.scores.shape == (4, 6, 3)
+
+    def test_cross_attention_skipped_without_context(self, rng):
+        block = TransformerBlock(16, 4, 4, rng, context_dim=8)
+        _, trace = block(rng.standard_normal((6, 16)))
+        assert trace.cross_attention is None
+
+    def test_residual_structure(self, rng):
+        """Output differs from input, but retains strong correlation
+        (residual path dominates for small weights)."""
+        block = TransformerBlock(16, 4, 4, rng)
+        x = rng.standard_normal((6, 16))
+        out, _ = block(x)
+        assert not np.allclose(out, x)
+        corr = np.corrcoef(x.ravel(), out.ravel())[0, 1]
+        assert corr > 0.3
+
+    def test_adaln_timestep_changes_output(self, rng):
+        block = TransformerBlock(16, 4, 4, rng, timestep_dim=8)
+        x = rng.standard_normal((6, 16))
+        out1, _ = block(x, t_embed=np.ones(8))
+        out2, _ = block(x, t_embed=-np.ones(8))
+        assert not np.allclose(out1, out2)
+
+    def test_ffn_executor_is_used(self, rng):
+        block = TransformerBlock(16, 4, 4, rng)
+        calls = []
+
+        def ffn_exec(layer, x):
+            calls.append(x.shape)
+            return layer.forward_exact(x)
+
+        block(rng.standard_normal((6, 16)), executors=Executors(ffn=ffn_exec))
+        assert calls == [(6, 16)]
+
+    def test_attention_executor_is_used(self, rng):
+        block = TransformerBlock(16, 4, 4, rng)
+        calls = []
+
+        def attn_exec(layer, x, context):
+            calls.append(True)
+            return layer.forward_exact(x, context)
+
+        block(
+            rng.standard_normal((6, 16)),
+            executors=Executors(self_attention=attn_exec),
+        )
+        assert calls == [True]
+
+    def test_macs_include_all_categories(self, rng):
+        block = TransformerBlock(16, 4, 4, rng, context_dim=8)
+        counts = block.macs(tokens=6, context_tokens=3)
+        assert set(counts) == {"qkv_projection", "attention", "ffn"}
+        assert all(v > 0 for v in counts.values())
+
+    def test_deterministic(self):
+        b1 = TransformerBlock(8, 2, 4, np.random.default_rng(3))
+        b2 = TransformerBlock(8, 2, 4, np.random.default_rng(3))
+        x = np.random.default_rng(4).standard_normal((5, 8))
+        np.testing.assert_array_equal(b1(x)[0], b2(x)[0])

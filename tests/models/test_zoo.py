@@ -1,0 +1,95 @@
+"""Unit tests for the benchmark model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models.network import NetworkType
+from repro.models.zoo import BENCHMARK_MODELS, build_all, build_model
+from repro.workloads.specs import BENCHMARK_ORDER, get_spec
+
+
+class TestBuildModel:
+    def test_all_seven_models_build(self):
+        for name in BENCHMARK_ORDER:
+            model = build_model(name, seed=0, total_iterations=2)
+            assert model.name == name
+
+    def test_unknown_model_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="known models"):
+            build_model("sora")
+
+    def test_network_type_matches_spec(self):
+        assert (
+            build_model("mld").network.network_type
+            is NetworkType.TRANSFORMER_UNET
+        )
+        assert (
+            build_model("stable_diffusion").network.network_type
+            is NetworkType.RESBLOCK_UNET
+        )
+        assert (
+            build_model("dit").network.network_type
+            is NetworkType.TRANSFORMER_ONLY
+        )
+
+    def test_conditioning_presence_matches_spec(self):
+        assert build_model("dit").conditioning is None
+        assert build_model("stable_diffusion").conditioning is not None
+
+    def test_overrides(self):
+        model = build_model("dit", total_iterations=5, depth=2)
+        assert model.spec.total_iterations == 5
+        assert model.network.depth == 2
+
+    def test_deterministic_weights(self):
+        a = build_model("mdm", seed=9)
+        b = build_model("mdm", seed=9)
+        np.testing.assert_array_equal(
+            a.network.blocks[0].ffn.linear1.weight,
+            b.network.blocks[0].ffn.linear1.weight,
+        )
+
+    def test_seed_changes_weights(self):
+        a = build_model("mdm", seed=1)
+        b = build_model("mdm", seed=2)
+        assert not np.allclose(
+            a.network.blocks[0].ffn.linear1.weight,
+            b.network.blocks[0].ffn.linear1.weight,
+        )
+
+    def test_geglu_for_stable_diffusion(self):
+        model = build_model("stable_diffusion")
+        assert model.network.blocks[0].ffn.activation == "geglu"
+
+    def test_benchmark_models_constant(self):
+        assert tuple(BENCHMARK_MODELS) == BENCHMARK_ORDER
+
+    def test_build_all(self):
+        models = build_all(seed=0)
+        assert set(models) == set(BENCHMARK_ORDER)
+
+
+class TestSpecs:
+    def test_get_spec_roundtrip(self):
+        for name in BENCHMARK_ORDER:
+            assert get_spec(name).name == name
+
+    def test_dense_period(self):
+        assert get_spec("dit").dense_period == 3  # N=2 sparse + 1 dense
+
+    def test_table1_configs(self):
+        """Spot-check Table I values."""
+        dit = get_spec("dit")
+        assert dit.total_iterations == 100
+        assert dit.sparse_iters_n == 2
+        assert dit.target_inter_sparsity == 0.80
+        assert dit.q_threshold == 0.15
+        assert dit.top_k_ratio == 0.05
+        mld = get_spec("mld")
+        assert mld.sparse_iters_n == 9
+        assert mld.target_inter_sparsity == 0.95
+
+    def test_resblock_flags(self):
+        assert get_spec("stable_diffusion").has_resblocks
+        assert get_spec("videocrafter2").has_resblocks
+        assert not get_spec("dit").has_resblocks

@@ -1,0 +1,74 @@
+"""Unit tests for post-training quantization."""
+
+import numpy as np
+import pytest
+
+from repro.models.zoo import build_model
+from repro.quant.quantize import (
+    MMUL_BITS,
+    QuantSpec,
+    apply_ptq,
+    dequantize,
+    fake_quantize,
+    quantization_error,
+    quantize,
+)
+
+
+class TestQuantize:
+    def test_roundtrip_within_half_lsb(self, rng):
+        x = rng.standard_normal((16, 16))
+        ints, spec = quantize(x, 12)
+        recon = dequantize(ints, spec)
+        assert np.max(np.abs(recon - x)) <= spec.scale / 2 + 1e-12
+
+    def test_range_clipped(self, rng):
+        ints, spec = quantize(rng.standard_normal(100), 8)
+        assert np.max(np.abs(ints)) <= spec.qmax
+
+    def test_zero_tensor(self):
+        ints, spec = quantize(np.zeros((4,)), 12)
+        assert spec.scale == 1.0
+        np.testing.assert_array_equal(ints, 0)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            quantize(np.ones(4), 1)
+
+    def test_fake_quantize_idempotent(self, rng):
+        x = rng.standard_normal((8, 8))
+        once = fake_quantize(x, 12)
+        twice = fake_quantize(once, 12)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    def test_more_bits_less_error(self, rng):
+        x = rng.standard_normal((32, 32))
+        assert quantization_error(x, 12) < quantization_error(x, 8)
+
+    def test_quant_spec_qmax(self):
+        assert QuantSpec(bits=12, scale=1.0).qmax == 2047
+        assert MMUL_BITS == 12
+
+
+class TestApplyPTQ:
+    def test_weights_land_on_grid(self):
+        model = build_model("dit", seed=0, total_iterations=3)
+        apply_ptq(model, mmul_bits=12)
+        w = model.network.blocks[0].ffn.linear1.weight
+        np.testing.assert_allclose(w, fake_quantize(w, 12), atol=1e-12)
+
+    def test_covers_resblocks(self):
+        model = build_model("stable_diffusion", seed=0, total_iterations=3)
+        apply_ptq(model)
+        w = model.network.resblocks[0].conv1.weight
+        np.testing.assert_allclose(w, fake_quantize(w, 12), atol=1e-12)
+
+    def test_quantized_model_output_close(self):
+        plain = build_model("dit", seed=0, total_iterations=5)
+        quant = build_model("dit", seed=0, total_iterations=5)
+        apply_ptq(quant)
+        a = plain.make_pipeline().generate(seed=1, class_label=2)
+        b = quant.make_pipeline().generate(seed=1, class_label=2)
+        from repro.workloads.metrics import psnr
+
+        assert psnr(a.sample, b.sample) > 25.0

@@ -1,0 +1,66 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.model == "dit"
+        assert args.ablation == "all"
+
+    def test_ablation_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--ablation", "everything"])
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "stable_diffusion" in out
+        assert "N=2" in out  # DiT's FFN-Reuse config
+
+    def test_generate(self, capsys):
+        code = main([
+            "generate", "--model", "mld", "--iterations", "6",
+            "--compare-vanilla",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ffn_output_sparsity" in out
+        assert "PSNR vs vanilla" in out
+
+    def test_generate_with_class_label(self, capsys):
+        code = main([
+            "generate", "--model", "dit", "--iterations", "4",
+            "--class-label", "3", "--ablation", "ffnr",
+        ])
+        assert code == 0
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--model", "mdm"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "EXION24" in out
+
+    def test_simulate_edge(self, capsys):
+        assert main(["simulate", "--model", "mld",
+                     "--accelerator", "exion4"]) == 0
+        assert "EXION4" in capsys.readouterr().out
+
+    def test_opcount(self, capsys):
+        assert main(["opcount"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_conmerge(self, capsys):
+        assert main(["conmerge", "--model", "mdm"]) == 0
+        out = capsys.readouterr().out
+        assert "condensing" in out
+        assert "merging" in out

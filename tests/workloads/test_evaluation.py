@@ -1,0 +1,58 @@
+"""Unit tests for the Table I evaluation harness."""
+
+import pytest
+
+from repro.workloads.evaluation import (
+    TABLE1_METHODS,
+    EvaluationReport,
+    evaluate_model,
+)
+
+
+@pytest.fixture(scope="module")
+def mld_report():
+    return evaluate_model("mld", n_samples=3, iterations=8)
+
+
+class TestEvaluateModel:
+    def test_all_methods_present(self, mld_report):
+        assert [m.method for m in mld_report.methods] == list(TABLE1_METHODS)
+
+    def test_vanilla_is_reference(self, mld_report):
+        vanilla = mld_report.method("vanilla")
+        assert vanilla.psnr_mean == float("inf")
+        assert vanilla.fid_proxy == pytest.approx(0.0, abs=1e-6)
+
+    def test_optimized_methods_finite(self, mld_report):
+        for name in TABLE1_METHODS[1:]:
+            entry = mld_report.method(name)
+            assert 0.0 < entry.psnr_mean < float("inf")
+            assert entry.fid_proxy >= 0.0
+            assert entry.is_proxy > 0.0
+
+    def test_sparsity_targets_hit(self, mld_report):
+        ffnr = mld_report.method("ffn_reuse")
+        assert ffnr.inter_sparsity == pytest.approx(0.95, abs=0.05)
+        assert ffnr.intra_sparsity == 0.0  # EP disabled
+
+    def test_ep_adds_intra_sparsity(self, mld_report):
+        assert mld_report.method("ffn_reuse_ep").intra_sparsity > 0.1
+
+    def test_method_lookup_raises(self, mld_report):
+        with pytest.raises(KeyError):
+            mld_report.method("nonexistent")
+
+    def test_rejects_tiny_sample_count(self):
+        with pytest.raises(ValueError):
+            evaluate_model("mld", n_samples=1)
+
+    def test_requires_vanilla_reference(self):
+        with pytest.raises(ValueError, match="vanilla"):
+            evaluate_model("mld", n_samples=2, iterations=4,
+                           methods=("ffn_reuse",))
+
+    def test_unconditioned_model_runs(self):
+        report = evaluate_model("dit", n_samples=2, iterations=6,
+                                methods=("vanilla", "ffn_reuse"))
+        assert isinstance(report, EvaluationReport)
+        assert report.n_samples == 2

@@ -1,0 +1,89 @@
+"""Unit tests for synthetic workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import (
+    attention_keepmask,
+    denoising_trajectory,
+    ffn_output_bitmask,
+)
+from repro.workloads.metrics import cosine_similarity
+
+
+class TestFFNBitmask:
+    def test_target_sparsity_hit(self, rng):
+        mask = ffn_output_bitmask(64, 256, sparsity=0.9, rng=rng)
+        assert mask.sparsity == pytest.approx(0.9, abs=0.02)
+
+    def test_dead_columns_present(self, rng):
+        mask = ffn_output_bitmask(
+            64, 256, sparsity=0.9, dead_col_fraction=0.3, rng=rng
+        )
+        dead_ratio = len(mask.all_zero_columns()) / mask.cols
+        assert dead_ratio == pytest.approx(0.3, abs=0.12)
+
+    def test_no_dead_columns_when_zero(self, rng):
+        mask = ffn_output_bitmask(
+            256, 64, sparsity=0.5, dead_col_fraction=0.0, rng=rng
+        )
+        assert len(mask.all_zero_columns()) < 5
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            ffn_output_bitmask(4, 4, sparsity=1.5, rng=rng)
+        with pytest.raises(ValueError):
+            ffn_output_bitmask(4, 4, sparsity=0.5, dead_col_fraction=1.0, rng=rng)
+
+    def test_deterministic(self):
+        a = ffn_output_bitmask(16, 32, 0.8, rng=np.random.default_rng(1))
+        b = ffn_output_bitmask(16, 32, 0.8, rng=np.random.default_rng(1))
+        assert a == b
+
+
+class TestAttentionKeepmask:
+    def test_rows_keep_topk(self, rng):
+        mask = attention_keepmask(16, 32, top_k_ratio=0.25, rng=rng)
+        counts = mask.mask.sum(axis=1)
+        assert np.all(counts == 8)
+
+    def test_one_hot_rows_empty(self, rng):
+        mask = attention_keepmask(
+            64, 32, top_k_ratio=0.25, one_hot_rate=0.5, rng=rng
+        )
+        empty_rows = int((mask.mask.sum(axis=1) == 0).sum())
+        assert empty_rows == pytest.approx(32, abs=12)
+
+    def test_concentration_creates_dead_key_columns(self, rng):
+        diffuse = attention_keepmask(
+            64, 64, 0.1, concentration=0.01, rng=np.random.default_rng(0)
+        )
+        focused = attention_keepmask(
+            64, 64, 0.1, concentration=5.0, rng=np.random.default_rng(0)
+        )
+        assert len(focused.all_zero_columns()) >= len(diffuse.all_zero_columns())
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            attention_keepmask(4, 4, top_k_ratio=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            attention_keepmask(4, 4, 0.5, one_hot_rate=2.0, rng=rng)
+
+
+class TestTrajectory:
+    def test_shape(self, rng):
+        traj = denoising_trajectory(8, 16, iterations=10, rng=rng)
+        assert traj.shape == (10, 8, 16)
+
+    def test_adjacent_similarity_matches_smoothness(self, rng):
+        traj = denoising_trajectory(
+            32, 64, iterations=20, smoothness=0.95, rng=rng
+        )
+        sims = [
+            cosine_similarity(traj[i], traj[i + 1]) for i in range(19)
+        ]
+        assert np.mean(sims) == pytest.approx(0.95, abs=0.05)
+
+    def test_rejects_bad_smoothness(self, rng):
+        with pytest.raises(ValueError):
+            denoising_trajectory(4, 4, 5, smoothness=1.0, rng=rng)
