@@ -1,0 +1,25 @@
+# Developer entry points for the EXION reproduction.
+#
+#   make test         tier-1 test suite (the CI gate)
+#   make bench-smoke  serving-throughput bench + one figure bench
+#   make docs-check   docstring + __all__ export lint
+#   make check        all of the above
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench-smoke docs-check check
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_serve_throughput.py \
+		benchmarks/bench_fig06_ffn_reuse.py \
+		--import-mode=importlib -s -q
+
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
+check: test docs-check bench-smoke

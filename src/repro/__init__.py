@@ -11,7 +11,10 @@ inference. This package reimplements, in pure Python/numpy:
 - a cycle-level simulator of the EXION hardware (``repro.hw``),
 - GPU and Cambricon-D baselines (``repro.baselines``),
 - benchmark workloads and analysis helpers (``repro.workloads``,
-  ``repro.analysis``).
+  ``repro.analysis``),
+- a batched multi-request serving layer that coalesces concurrent
+  generation requests into vectorized micro-batches with cross-request
+  model/threshold caching (``repro.serve``).
 
 Quickstart::
 
@@ -21,18 +24,30 @@ Quickstart::
     pipeline = ExionPipeline(model, ExionConfig.for_model("dit"))
     result = pipeline.generate(seed=1)
     print(result.stats.ffn_output_sparsity)
+
+Serving quickstart::
+
+    from repro import BatchingPolicy, ExionServer
+
+    server = ExionServer("dit", policy=BatchingPolicy(max_batch_size=8))
+    ids = [server.submit(seed=s, class_label=207) for s in range(8)]
+    results = server.run_until_drained()
 """
 
 from repro.core.config import ExionConfig
 from repro.core.pipeline import ExionPipeline, GenerationResult
 from repro.models.zoo import BENCHMARK_MODELS, build_model
+from repro.serve import BatchedPipeline, BatchingPolicy, ExionServer
 
 __all__ = [
     "BENCHMARK_MODELS",
+    "BatchedPipeline",
+    "BatchingPolicy",
     "ExionConfig",
     "ExionPipeline",
+    "ExionServer",
     "GenerationResult",
     "build_model",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro models                         # list benchmark models
     python -m repro generate --model dit --seed 1  # run EXION inference
+    python -m repro serve --model dit --requests 16 --batch-size 8
     python -m repro simulate --model dit           # HW sim vs GPU baselines
     python -m repro opcount                        # Fig. 4 breakdown
     python -m repro conmerge --model stable_diffusion
@@ -72,6 +73,80 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         vanilla = pipeline.generate_vanilla(**kwargs)
         print(f"  PSNR vs vanilla              "
               f"{psnr(vanilla.sample, result.sample):.2f} dB")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.config import ExionConfig
+    from repro.serve import BatchingPolicy, ExionServer
+
+    config = ExionConfig.for_model(args.model).ablation(args.ablation)
+    server = ExionServer(
+        args.model,
+        config=config,
+        policy=BatchingPolicy(max_batch_size=args.batch_size,
+                              max_wait_s=args.max_wait),
+        total_iterations=args.iterations,
+        calibrate=args.calibrate,
+    )
+    for i in range(args.requests):
+        server.submit(
+            seed=args.seed + i,
+            prompt=args.prompt,
+            class_label=args.class_label,
+        )
+    # Serve through step() so the batching policy governs dispatch: full
+    # batches go immediately, a partial tail waits out --max-wait.
+    results = []
+    while True:
+        served = server.step()
+        if served:
+            results.extend(served)
+        elif len(server.queue) == 0:
+            break
+        else:
+            time.sleep(min(0.05, max(args.max_wait, 0.001)))
+    results.sort(key=lambda r: r.request_id)
+    report = server.report()
+
+    rows = [
+        [r.request_id, r.request.seed, r.batch_size,
+         f"{r.result.stats.ffn_output_sparsity * 100:.1f}%",
+         f"{r.result.stats.attention_output_sparsity * 100:.1f}%"]
+        for r in results
+    ]
+    print(format_table(
+        ["request", "seed", "batch", "FFN sparsity", "attn sparsity"],
+        rows,
+        title=f"Served {args.model} ablation={args.ablation}",
+    ))
+    print(f"batches={report.batches_served} "
+          f"mean_batch={report.mean_batch_size:.2f} "
+          f"throughput={report.samples_per_s:.2f} samples/s")
+
+    if args.compare_sequential and args.requests > 0:
+        from repro.core.pipeline import ExionPipeline
+
+        # Reuse the server's cached model and (with --calibrate) threshold
+        # table so the comparison isolates batching: both paths run the
+        # same computation, only the loop structure differs.
+        model = server.cache.model(args.model,
+                                   total_iterations=args.iterations)
+        table = None
+        if args.calibrate and config.enable_ffn_reuse:
+            table = server.cache.table(args.model, config,
+                                       total_iterations=args.iterations)
+        pipeline = ExionPipeline(model, config, threshold_table=table)
+        start = time.perf_counter()
+        for i in range(args.requests):
+            pipeline.generate(seed=args.seed + i, prompt=args.prompt,
+                              class_label=args.class_label)
+        sequential_s = time.perf_counter() - start
+        seq_rate = args.requests / sequential_s
+        print(f"sequential  {seq_rate:.2f} samples/s")
+        print(f"speedup     {report.samples_per_s / seq_rate:.2f}x")
     return 0
 
 
@@ -179,6 +254,23 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["base", "ep", "ffnr", "all"])
     gen.add_argument("--compare-vanilla", action="store_true")
     gen.set_defaults(func=_cmd_generate)
+
+    srv = sub.add_parser("serve", help="batched multi-request serving")
+    srv.add_argument("--model", default="dit")
+    srv.add_argument("--requests", type=int, default=8)
+    srv.add_argument("--batch-size", type=int, default=8)
+    srv.add_argument("--max-wait", type=float, default=0.0)
+    srv.add_argument("--seed", type=int, default=0,
+                     help="first request seed; request i uses seed + i")
+    srv.add_argument("--iterations", type=int, default=None)
+    srv.add_argument("--prompt", default=None)
+    srv.add_argument("--class-label", type=int, default=None)
+    srv.add_argument("--ablation", default="all",
+                     choices=["base", "ep", "ffnr", "all"])
+    srv.add_argument("--calibrate", action="store_true",
+                     help="use an offline-calibrated threshold table")
+    srv.add_argument("--compare-sequential", action="store_true")
+    srv.set_defaults(func=_cmd_serve)
 
     sim = sub.add_parser("simulate", help="hardware simulation vs GPU")
     sim.add_argument("--model", default="dit")

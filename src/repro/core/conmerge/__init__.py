@@ -26,8 +26,8 @@ from repro.core.conmerge.vectors import CellAssignment, ControlMap
 
 __all__ = [
     "CellAssignment",
-    "CondenseResult",
     "ConMergeResult",
+    "CondenseResult",
     "ControlMap",
     "MergeAttempt",
     "SortBuffer",

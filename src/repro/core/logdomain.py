@@ -104,6 +104,31 @@ def decompose_powers(value: int, max_terms: int = 2) -> list[int]:
     return positions
 
 
+def quantize_symmetric_batched(
+    x: np.ndarray, bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-sample symmetric quantization over the leading (batch) axis.
+
+    Each slice ``x[b]`` is quantized with its own scale, exactly as if
+    :func:`quantize_symmetric` had been called on it alone — the property
+    the batched serving path relies on to keep per-request results
+    identical to sequential runs. Returns ``(ints, scales)`` with
+    ``scales`` of shape ``(batch,)``.
+    """
+    if not 2 <= bits <= 32:
+        raise ValueError("bits must be in [2, 32]")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim < 2:
+        raise ValueError("need at least a (batch, ...) array")
+    batch = x.shape[0]
+    expand = (slice(None),) + (None,) * (x.ndim - 1)
+    max_abs = np.abs(x).reshape(batch, -1).max(axis=1) if x.size else np.zeros(batch)
+    qmax = (1 << (bits - 1)) - 1
+    scales = np.where(max_abs == 0.0, 1.0, max_abs / qmax)
+    ints = np.clip(np.round(x / scales[expand]), -qmax, qmax).astype(np.int64)
+    return ints, scales
+
+
 def log_domain_matmul(
     a: np.ndarray,
     b: np.ndarray,
@@ -125,3 +150,26 @@ def log_domain_matmul(
     a_approx = approximate(a_int, mode).astype(np.float64)
     b_approx = approximate(b_int, mode).astype(np.float64)
     return (a_approx @ b_approx) * (a_scale * b_scale)
+
+
+def log_domain_matmul_batched(
+    a: np.ndarray,
+    b: np.ndarray,
+    mode: str = "ts_lod",
+    bits: int = 12,
+) -> np.ndarray:
+    """Batched :func:`log_domain_matmul`: ``a`` is ``(batch, tokens, in)``.
+
+    The weight operand ``b`` is shared across the batch (one quantization),
+    while every activation slice ``a[i]`` gets its own quantization scale,
+    so each batch item's prediction equals the sequential
+    ``log_domain_matmul(a[i], b)`` result bit for bit.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 3:
+        raise ValueError(f"expected (batch, tokens, in) input, got {a.shape}")
+    a_int, a_scales = quantize_symmetric_batched(a, bits)
+    b_int, b_scale = quantize_symmetric(b, bits)
+    a_approx = approximate(a_int, mode).astype(np.float64)
+    b_approx = approximate(b_int, mode).astype(np.float64)
+    return (a_approx @ b_approx) * (a_scales[:, None, None] * b_scale)

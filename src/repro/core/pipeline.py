@@ -104,16 +104,39 @@ class ExionPipeline:
         prompt: Optional[str] = None,
         class_label: Optional[int] = None,
         vanilla: bool = False,
+        batched: bool = False,
     ) -> tuple:
         """Generate one sample per seed; returns ``(samples, results)``.
 
         ``samples`` is a stacked ``(len(seeds), tokens, dim)`` array for
         direct use with the distribution metrics in
         :mod:`repro.workloads.metrics`.
+
+        ``batched=True`` routes the seeds through the vectorized
+        :class:`repro.serve.batched.BatchedPipeline` (one shared denoising
+        loop for the whole batch) instead of a Python-level loop; the
+        per-seed samples and statistics are identical either way.
         """
         seeds = list(seeds)
         if not seeds:
             raise ValueError("need at least one seed")
+        if batched:
+            from repro.serve.batched import BatchedPipeline
+
+            if vanilla:
+                # Vanilla disables every optimization, like generate_vanilla().
+                delegate = BatchedPipeline(self.model, self.config.ablation("base"))
+            else:
+                delegate = BatchedPipeline(
+                    self.model,
+                    self.config,
+                    threshold_table=self.threshold_table,
+                    activation_bits=self.activation_bits,
+                    collect_masks=self.collect_masks,
+                )
+            return delegate.generate_batch(
+                seeds, prompt=prompt, class_label=class_label
+            )
         results = []
         for seed in seeds:
             if vanilla:

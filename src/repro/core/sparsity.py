@@ -83,6 +83,42 @@ class RunStats:
     def kv_projection_skip_rate(self) -> float:
         return self.kv_projection.reduction
 
+    def merge_from(self, other: "RunStats") -> None:
+        """Accumulate another run's statistics into this one.
+
+        Iterates the dataclass fields so a newly added counter or
+        observation list can never be silently dropped from aggregate
+        (micro-batch / server) reports.
+        """
+        from dataclasses import fields
+
+        for spec in fields(self):
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, OpCounter):
+                mine.add(theirs.dense, theirs.computed)
+            elif isinstance(mine, list):
+                mine.extend(theirs)
+            elif isinstance(mine, int):
+                setattr(self, spec.name, mine + theirs)
+            else:  # pragma: no cover - new field kinds must pick a rule
+                raise TypeError(
+                    f"don't know how to merge RunStats field {spec.name!r}"
+                )
+
+    @classmethod
+    def merged(cls, stats_list) -> "RunStats":
+        """Aggregate per-request stats into one fleet-wide view.
+
+        Used by the serving layer to report micro-batch and server totals:
+        op counters add up, sparsity observations concatenate, so the
+        derived rates are averaged over every request served.
+        """
+        total = cls()
+        for stats in stats_list:
+            total.merge_from(stats)
+        return total
+
     def summary(self) -> dict:
         """Flat dict for report printing."""
         return {

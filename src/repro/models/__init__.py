@@ -45,8 +45,8 @@ __all__ = [
     "ResBlock",
     "TransformerBlock",
     "build_model",
-    "gelu",
     "geglu",
+    "gelu",
     "relu",
     "silu",
     "softmax",

@@ -93,6 +93,25 @@ def _override(
     return replace(spec, **changes)
 
 
+def model_cache_key(
+    name: str,
+    seed: int = 0,
+    total_iterations: Optional[int] = None,
+    depth: Optional[int] = None,
+) -> tuple:
+    """Hashable identity of a :func:`build_model` call.
+
+    Two calls with the same key build behaviorally identical models
+    (weights are deterministic per seed), which is what lets the serving
+    layer's :class:`repro.serve.cache.ThresholdCache` reuse built models
+    and calibrated threshold tables across requests. The name is validated
+    eagerly, so a bad model name fails at server construction, not
+    mid-batch.
+    """
+    get_spec(name)  # raises KeyError for unknown models
+    return (name, seed, total_iterations, depth)
+
+
 def build_all(seed: int = 0) -> dict[str, BenchmarkModel]:
     """Build every benchmark model (used by full-suite benches)."""
     return {name: build_model(name, seed=seed) for name in BENCHMARK_ORDER}

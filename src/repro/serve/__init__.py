@@ -1,0 +1,49 @@
+"""Batched multi-request serving of EXION generation.
+
+The paper's FFN-Reuse and ConMerge mechanisms amortize work *across
+diffusion iterations*; this package amortizes the same way *across
+concurrent requests*:
+
+- :mod:`repro.serve.request` — request/result records;
+- :mod:`repro.serve.queue` / :mod:`repro.serve.scheduler` — FIFO queue
+  plus the micro-batching policy (max batch size, max wait);
+- :mod:`repro.serve.batched` — :class:`BatchedPipeline`, the vectorized
+  batch-axis twin of :class:`repro.core.pipeline.ExionPipeline`;
+- :mod:`repro.serve.cache` — cross-request memoization of built models
+  and offline-calibrated threshold tables;
+- :mod:`repro.serve.server` — :class:`ExionServer`, the front door.
+
+Quickstart::
+
+    from repro.serve import BatchingPolicy, ExionServer
+
+    server = ExionServer("dit", policy=BatchingPolicy(max_batch_size=8))
+    ids = [server.submit(seed=s, class_label=207) for s in range(8)]
+    results = server.run_until_drained()
+    print(results[0].result.stats.ffn_output_sparsity)
+
+Every request computes exactly what a sequential
+``ExionPipeline.generate()`` call would: same samples, same per-request
+:class:`~repro.core.sparsity.RunStats`. See
+``benchmarks/bench_serve_throughput.py`` for the throughput comparison.
+"""
+
+from repro.serve.batched import BatchedPipeline
+from repro.serve.cache import ThresholdCache
+from repro.serve.queue import RequestQueue
+from repro.serve.request import GenerationRequest, RequestResult
+from repro.serve.scheduler import BatchingPolicy, MicroBatch, Scheduler
+from repro.serve.server import ExionServer, ServeReport
+
+__all__ = [
+    "BatchedPipeline",
+    "BatchingPolicy",
+    "ExionServer",
+    "GenerationRequest",
+    "MicroBatch",
+    "RequestQueue",
+    "RequestResult",
+    "Scheduler",
+    "ServeReport",
+    "ThresholdCache",
+]

@@ -1,0 +1,160 @@
+"""Cross-request memoization of models, thresholds and pipelines.
+
+Building a benchmark model materializes every weight matrix, and
+calibrating a :class:`~repro.core.thresholds.ThresholdTable` costs a full
+vanilla generation — work that is identical for every request against the
+same ``(model, config)``. The :class:`ThresholdCache` does each of these
+once and reuses the artifacts across all subsequent requests, mirroring
+how the paper's deployment story determines thresholds "through empirical
+experiments" offline and replays them at runtime.
+
+Three memo levels, from coarse to fine:
+
+- **models** — keyed by :func:`repro.models.zoo.model_cache_key`;
+- **threshold tables** — additionally keyed by the FFN-Reuse schedule
+  (dense period, target sparsity) and calibration seed, but *not* by the
+  eager-prediction knobs, so ablation variants share calibrations;
+- **pipelines** — fully keyed, returning ready
+  :class:`~repro.serve.batched.BatchedPipeline` instances.
+
+Cached models are shared objects: callers must not mutate their weights
+(e.g. via ``repro.quant.apply_ptq``) — quantized serving is expressed with
+the ``activation_bits`` pipeline knob instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import ExionConfig
+from repro.core.thresholds import ThresholdCalibrator, ThresholdTable
+from repro.models.zoo import BenchmarkModel, build_model, model_cache_key
+from repro.serve.batched import BatchedPipeline
+
+
+class ThresholdCache:
+    """Memoizes built models, calibrated tables and batched pipelines."""
+
+    def __init__(self) -> None:
+        self._models: dict = {}
+        self._tables: dict = {}
+        self._pipelines: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # memo levels
+    # ------------------------------------------------------------------
+    def model(
+        self,
+        name: str,
+        seed: int = 0,
+        total_iterations: Optional[int] = None,
+        depth: Optional[int] = None,
+    ) -> BenchmarkModel:
+        """Build (or reuse) a benchmark model."""
+        key = model_cache_key(name, seed, total_iterations, depth)
+        if key in self._models:
+            self.hits += 1
+            return self._models[key]
+        self.misses += 1
+        built = build_model(
+            name, seed=seed, total_iterations=total_iterations, depth=depth
+        )
+        self._models[key] = built
+        return built
+
+    def table(
+        self,
+        name: str,
+        config: ExionConfig,
+        model_seed: int = 0,
+        total_iterations: Optional[int] = None,
+        depth: Optional[int] = None,
+        calibration_seed: int = 0,
+    ) -> ThresholdTable:
+        """Calibrate (or reuse) the FFN-Reuse threshold table.
+
+        The key ignores the eager-prediction knobs: the table depends only
+        on the model, the dense/sparse schedule and the target sparsity,
+        so e.g. the ``ffnr`` and ``all`` ablations share one calibration.
+        """
+        key = model_cache_key(name, model_seed, total_iterations, depth) + (
+            config.sparse_iters_n,
+            config.ffn_target_sparsity,
+            calibration_seed,
+        )
+        if key in self._tables:
+            self.hits += 1
+            return self._tables[key]
+        self.misses += 1
+        model = self.model(name, model_seed, total_iterations, depth)
+        calibrator = ThresholdCalibrator(
+            target_sparsity=config.ffn_target_sparsity,
+            dense_period=config.sparse_iters_n + 1,
+        )
+        table = calibrator.calibrate(model, seed=calibration_seed)
+        self._tables[key] = table
+        return table
+
+    def pipeline(
+        self,
+        name: str,
+        config: Optional[ExionConfig] = None,
+        model_seed: int = 0,
+        total_iterations: Optional[int] = None,
+        depth: Optional[int] = None,
+        activation_bits: Optional[int] = None,
+        calibrate: bool = False,
+        calibration_seed: int = 0,
+    ) -> BatchedPipeline:
+        """Return a ready batched pipeline for ``(model, config)``.
+
+        ``calibrate=True`` attaches a memoized offline-calibrated
+        threshold table (one vanilla generation on first use); otherwise
+        thresholds fall back to the online per-request quantile.
+        """
+        if config is None:
+            config = ExionConfig.for_model(name)
+        key = model_cache_key(name, model_seed, total_iterations, depth) + (
+            config,
+            activation_bits,
+            calibrate,
+            calibration_seed if calibrate else None,
+        )
+        if key in self._pipelines:
+            self.hits += 1
+            return self._pipelines[key]
+        self.misses += 1
+        model = self.model(name, model_seed, total_iterations, depth)
+        table = None
+        if calibrate and config.enable_ffn_reuse:
+            table = self.table(
+                name, config, model_seed, total_iterations, depth,
+                calibration_seed,
+            )
+        pipeline = BatchedPipeline(
+            model, config, threshold_table=table,
+            activation_bits=activation_bits,
+        )
+        self._pipelines[key] = pipeline
+        return pipeline
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def info(self) -> dict:
+        """Cache occupancy and hit statistics."""
+        return {
+            "models": len(self._models),
+            "tables": len(self._tables),
+            "pipelines": len(self._pipelines),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> None:
+        """Drop every memoized artifact (frees the model weights)."""
+        self._models.clear()
+        self._tables.clear()
+        self._pipelines.clear()

@@ -1,0 +1,69 @@
+"""FIFO request queue feeding the micro-batch scheduler.
+
+The queue is deliberately synchronous and deterministic: time is an
+explicit parameter rather than a wall-clock read, so batching decisions
+are reproducible in tests and benchmarks. The server layer passes a real
+clock; tests pass hand-picked instants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.serve.request import GenerationRequest
+
+
+class RequestQueue:
+    """FIFO of pending :class:`GenerationRequest` with id assignment."""
+
+    def __init__(self) -> None:
+        self._pending: deque[GenerationRequest] = deque()
+        self._next_id = 0
+        self.total_submitted = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._pending
+
+    def submit(
+        self,
+        seed: int = 0,
+        prompt: Optional[str] = None,
+        class_label: Optional[int] = None,
+        now: float = 0.0,
+    ) -> GenerationRequest:
+        """Enqueue a new request and return it (with its assigned id)."""
+        request = GenerationRequest(
+            request_id=self._next_id,
+            seed=seed,
+            prompt=prompt,
+            class_label=class_label,
+            submitted_at=now,
+        )
+        self._next_id += 1
+        self.submit_request(request)
+        return request
+
+    def submit_request(self, request: GenerationRequest) -> None:
+        """Enqueue an externally-constructed request as-is."""
+        self._pending.append(request)
+        self.total_submitted += 1
+
+    def oldest_wait(self, now: float) -> float:
+        """Queue time of the oldest pending request; 0 when empty."""
+        if not self._pending:
+            return 0.0
+        return max(0.0, now - self._pending[0].submitted_at)
+
+    def pop(self, max_size: int) -> list[GenerationRequest]:
+        """Dequeue up to ``max_size`` requests in FIFO order."""
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        batch = []
+        while self._pending and len(batch) < max_size:
+            batch.append(self._pending.popleft())
+        return batch

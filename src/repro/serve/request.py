@@ -1,0 +1,52 @@
+"""Request and result records of the serving layer.
+
+A :class:`GenerationRequest` is what a client submits: the sampling seed
+plus the conditioning input (prompt or class label). The serving layer
+coalesces requests into micro-batches and returns one
+:class:`RequestResult` per request, wrapping the same
+:class:`repro.core.pipeline.GenerationResult` a direct
+``ExionPipeline.generate()`` call would have produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.pipeline import GenerationResult
+
+
+@dataclass(frozen=True)
+class GenerationRequest:
+    """One client request for a single generated sample.
+
+    ``request_id`` orders results back to clients; ``submitted_at`` is the
+    queue clock reading at submission, used by the max-wait batching
+    policy and for per-request latency accounting.
+    """
+
+    request_id: int
+    seed: int = 0
+    prompt: Optional[str] = None
+    class_label: Optional[int] = None
+    submitted_at: float = 0.0
+
+
+@dataclass
+class RequestResult:
+    """A served request: the generation output plus serving metadata."""
+
+    request: GenerationRequest
+    result: GenerationResult
+    batch_size: int  # size of the micro-batch this request ran in
+    wait_s: float = 0.0  # queue time before the batch formed
+    service_s: float = 0.0  # batch execution time (shared by the batch)
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+    @property
+    def latency_s(self) -> float:
+        """Queue wait plus batch service time."""
+        return self.wait_s + self.service_s

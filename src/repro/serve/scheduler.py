@@ -1,0 +1,80 @@
+"""Micro-batch scheduler: coalesces queued requests into batches.
+
+The policy mirrors classic dynamic-batching servers: dispatch as soon as
+a full batch of ``max_batch_size`` requests is waiting, or once the
+oldest pending request has waited ``max_wait_s`` (so a trickle of
+traffic is not starved waiting for a full batch). ``max_wait_s = 0``
+degenerates to greedy batching: whatever is queued is dispatched
+immediately, one batch per :meth:`Scheduler.next_batch` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.serve.queue import RequestQueue
+from repro.serve.request import GenerationRequest
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Knobs of the micro-batching decision."""
+
+    max_batch_size: int = 8
+    max_wait_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_s < 0.0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class MicroBatch:
+    """A dispatched group of requests that will share one batched run."""
+
+    requests: tuple[GenerationRequest, ...]
+    formed_at: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        return tuple(r.seed for r in self.requests)
+
+
+class Scheduler:
+    """Forms micro-batches from a :class:`RequestQueue` under a policy."""
+
+    def __init__(
+        self, queue: RequestQueue, policy: Optional[BatchingPolicy] = None
+    ) -> None:
+        self.queue = queue
+        self.policy = policy if policy is not None else BatchingPolicy()
+        self.batches_formed = 0
+
+    def ready(self, now: float = 0.0) -> bool:
+        """Whether a batch should be dispatched at time ``now``."""
+        if self.queue.is_empty:
+            return False
+        if len(self.queue) >= self.policy.max_batch_size:
+            return True
+        return self.queue.oldest_wait(now) >= self.policy.max_wait_s
+
+    def next_batch(self, now: float = 0.0) -> Optional[MicroBatch]:
+        """Dispatch the next micro-batch, or ``None`` if not ready."""
+        if not self.ready(now):
+            return None
+        requests = self.queue.pop(self.policy.max_batch_size)
+        self.batches_formed += 1
+        return MicroBatch(requests=tuple(requests), formed_at=now)
+
+    def drain(self, now: float = 0.0) -> Iterator[MicroBatch]:
+        """Flush everything queued as maximal FIFO batches (ignores waits)."""
+        while not self.queue.is_empty:
+            requests = self.queue.pop(self.policy.max_batch_size)
+            self.batches_formed += 1
+            yield MicroBatch(requests=tuple(requests), formed_at=now)

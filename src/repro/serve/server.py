@@ -1,0 +1,191 @@
+"""The serving front door: queue, schedule, batch, account.
+
+:class:`ExionServer` ties the serving layer together: clients
+:meth:`~ExionServer.submit` generation requests, the
+:class:`~repro.serve.scheduler.Scheduler` coalesces them into
+micro-batches under the configured :class:`~repro.serve.scheduler.BatchingPolicy`,
+and each batch runs through one
+:class:`~repro.serve.batched.BatchedPipeline` drawn from the
+:class:`~repro.serve.cache.ThresholdCache`. Results come back as
+:class:`~repro.serve.request.RequestResult` records carrying the same
+sample and statistics a sequential ``ExionPipeline.generate()`` call
+would have produced, plus serving metadata (batch size, queue wait,
+service time).
+
+The server is synchronous: :meth:`step` serves at most one micro-batch
+and :meth:`run_until_drained` flushes the queue. This keeps behavior
+deterministic and testable while modelling exactly the batching dynamics
+(coalescing, max-wait dispatch, cross-request cache reuse) a concurrent
+front end would exhibit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import ExionConfig
+from repro.core.sparsity import RunStats
+from repro.models.zoo import model_cache_key
+from repro.serve.cache import ThresholdCache
+from repro.serve.queue import RequestQueue
+from repro.serve.request import RequestResult
+from repro.serve.scheduler import BatchingPolicy, MicroBatch, Scheduler
+
+
+@dataclass
+class ServeReport:
+    """Aggregate view of everything a server instance has served."""
+
+    requests_served: int = 0
+    batches_served: int = 0
+    busy_s: float = 0.0  # time spent inside batched generation
+    merged_stats: RunStats = field(default_factory=RunStats)
+    cache_info: dict = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.batches_served == 0:
+            return 0.0
+        return self.requests_served / self.batches_served
+
+    @property
+    def samples_per_s(self) -> float:
+        if self.busy_s == 0.0:
+            return 0.0
+        return self.requests_served / self.busy_s
+
+    def summary(self) -> dict:
+        """Flat dict for report printing."""
+        return {
+            "requests_served": self.requests_served,
+            "batches_served": self.batches_served,
+            "mean_batch_size": self.mean_batch_size,
+            "busy_s": self.busy_s,
+            "samples_per_s": self.samples_per_s,
+            **{f"cache_{k}": v for k, v in self.cache_info.items()},
+        }
+
+
+class ExionServer:
+    """Batched multi-request serving of one benchmark model."""
+
+    def __init__(
+        self,
+        model_name: str,
+        config: Optional[ExionConfig] = None,
+        policy: Optional[BatchingPolicy] = None,
+        cache: Optional[ThresholdCache] = None,
+        model_seed: int = 0,
+        total_iterations: Optional[int] = None,
+        depth: Optional[int] = None,
+        activation_bits: Optional[int] = None,
+        calibrate: bool = False,
+        clock=time.perf_counter,
+        retain_results: bool = True,
+    ) -> None:
+        model_cache_key(model_name, model_seed, total_iterations, depth)
+        self.model_name = model_name
+        self.config = (
+            config if config is not None else ExionConfig.for_model(model_name)
+        )
+        self.cache = cache if cache is not None else ThresholdCache()
+        self.queue = RequestQueue()
+        self.scheduler = Scheduler(self.queue, policy)
+        self._clock = clock
+        self._pipeline_kwargs = dict(
+            config=self.config,
+            model_seed=model_seed,
+            total_iterations=total_iterations,
+            depth=depth,
+            activation_bits=activation_bits,
+            calibrate=calibrate,
+        )
+        # Served results are retained for result() lookups by default; a
+        # long-lived server can pass retain_results=False and consume the
+        # step()/run_until_drained() return values instead, keeping memory
+        # flat. Aggregate statistics accumulate incrementally either way.
+        self.retain_results = retain_results
+        self.results: dict[int, RequestResult] = {}
+        self._requests_served = 0
+        self._batches_served = 0
+        self._busy_s = 0.0
+        self._merged_stats = RunStats()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        seed: int = 0,
+        prompt: Optional[str] = None,
+        class_label: Optional[int] = None,
+    ) -> int:
+        """Enqueue one generation request; returns its request id."""
+        request = self.queue.submit(
+            seed=seed, prompt=prompt, class_label=class_label,
+            now=self._clock(),
+        )
+        return request.request_id
+
+    def step(self) -> list[RequestResult]:
+        """Serve at most one micro-batch if the policy says it is due."""
+        batch = self.scheduler.next_batch(now=self._clock())
+        if batch is None:
+            return []
+        return self._serve(batch)
+
+    def run_until_drained(self) -> list[RequestResult]:
+        """Flush the whole queue; results ordered by request id."""
+        served: list[RequestResult] = []
+        for batch in self.scheduler.drain(now=self._clock()):
+            served.extend(self._serve(batch))
+        return sorted(served, key=lambda r: r.request_id)
+
+    def result(self, request_id: int, pop: bool = False) -> RequestResult:
+        """A finished request's result (KeyError if not served yet).
+
+        ``pop=True`` releases the stored result after returning it, so
+        clients that fetch-once can keep the server's memory flat.
+        """
+        if pop:
+            return self.results.pop(request_id)
+        return self.results[request_id]
+
+    def report(self) -> ServeReport:
+        """Aggregate throughput and sparsity statistics so far."""
+        return ServeReport(
+            requests_served=self._requests_served,
+            batches_served=self._batches_served,
+            busy_s=self._busy_s,
+            merged_stats=RunStats.merged([self._merged_stats]),
+            cache_info=self.cache.info(),
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _serve(self, batch: MicroBatch) -> list[RequestResult]:
+        pipeline = self.cache.pipeline(self.model_name, **self._pipeline_kwargs)
+        start = self._clock()
+        generations = pipeline.run_batch(batch.requests)
+        service_s = max(0.0, self._clock() - start)
+
+        served = []
+        for request, generation in zip(batch.requests, generations):
+            record = RequestResult(
+                request=request,
+                result=generation,
+                batch_size=len(batch),
+                wait_s=max(0.0, batch.formed_at - request.submitted_at),
+                service_s=service_s,
+            )
+            if self.retain_results:
+                self.results[request.request_id] = record
+            served.append(record)
+            self._merged_stats.merge_from(generation.stats)
+        self._requests_served += len(served)
+        self._batches_served += 1
+        self._busy_s += service_s
+        return served

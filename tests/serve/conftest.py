@@ -1,0 +1,19 @@
+"""Shared fixtures for the serving-layer tests."""
+
+import pytest
+
+from repro.core.config import ExionConfig
+from repro.models.zoo import build_model
+
+FAST_ITERATIONS = 6
+
+
+@pytest.fixture(scope="session")
+def serve_dit_model():
+    """Small DiT shared across read-only serving tests."""
+    return build_model("dit", seed=0, total_iterations=FAST_ITERATIONS)
+
+
+@pytest.fixture(scope="session")
+def dit_config():
+    return ExionConfig.for_model("dit")

@@ -1,0 +1,121 @@
+"""ThresholdCache memoization behavior."""
+
+import pytest
+
+from repro.core import thresholds as thresholds_module
+from repro.core.config import ExionConfig
+from repro.models.zoo import model_cache_key
+from repro.serve.cache import ThresholdCache
+
+FAST = {"total_iterations": 6}
+
+
+class TestModelCacheKey:
+    def test_round_trip(self):
+        key = model_cache_key("dit", seed=1, total_iterations=9)
+        assert key == ("dit", 1, 9, None)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            model_cache_key("resnet50")
+
+
+class TestModelMemo:
+    def test_same_key_returns_same_object(self):
+        cache = ThresholdCache()
+        first = cache.model("dit", **FAST)
+        second = cache.model("dit", **FAST)
+        assert first is second
+        assert cache.info()["models"] == 1
+        assert cache.info() == {
+            "models": 1, "tables": 0, "pipelines": 0, "hits": 1, "misses": 1,
+        }
+
+    def test_different_key_builds_new_model(self):
+        cache = ThresholdCache()
+        a = cache.model("dit", **FAST)
+        b = cache.model("dit", seed=1, **FAST)
+        c = cache.model("mdm", **FAST)
+        assert a is not b and a is not c
+        assert cache.info()["models"] == 3
+
+
+class TestTableMemo:
+    def test_calibration_runs_once(self, monkeypatch):
+        calls = []
+        original = thresholds_module.ThresholdCalibrator.calibrate
+
+        def counting(self, model, seed=0, prompt=None):
+            calls.append(seed)
+            return original(self, model, seed=seed, prompt=prompt)
+
+        monkeypatch.setattr(
+            thresholds_module.ThresholdCalibrator, "calibrate", counting
+        )
+        cache = ThresholdCache()
+        config = ExionConfig.for_model("dit")
+        first = cache.table("dit", config, **FAST)
+        second = cache.table("dit", config, **FAST)
+        assert first is second
+        assert calls == [0]
+
+    def test_table_shared_across_ep_ablations(self):
+        cache = ThresholdCache()
+        config = ExionConfig.for_model("dit")
+        ffnr_only = cache.table("dit", config.ablation("ffnr"), **FAST)
+        both = cache.table("dit", config.ablation("all"), **FAST)
+        assert ffnr_only is both
+
+    def test_table_not_shared_across_schedules(self):
+        cache = ThresholdCache()
+        config = ExionConfig.for_model("dit")
+        from dataclasses import replace
+
+        other = replace(config, sparse_iters_n=config.sparse_iters_n + 1)
+        assert cache.table("dit", config, **FAST) is not cache.table(
+            "dit", other, **FAST
+        )
+
+
+class TestPipelineMemo:
+    def test_pipeline_reused_for_same_config(self):
+        cache = ThresholdCache()
+        config = ExionConfig.for_model("dit")
+        first = cache.pipeline("dit", config, **FAST)
+        second = cache.pipeline("dit", config, **FAST)
+        assert first is second
+
+    def test_distinct_pipeline_per_config(self):
+        cache = ThresholdCache()
+        config = ExionConfig.for_model("dit")
+        assert cache.pipeline("dit", config, **FAST) is not cache.pipeline(
+            "dit", config.ablation("ffnr"), **FAST
+        )
+
+    def test_default_config_resolves_for_model(self):
+        cache = ThresholdCache()
+        pipeline = cache.pipeline("dit", **FAST)
+        assert pipeline.config == ExionConfig.for_model("dit")
+
+    def test_calibrated_pipeline_gets_table(self):
+        cache = ThresholdCache()
+        pipeline = cache.pipeline("dit", calibrate=True, **FAST)
+        assert pipeline.threshold_table is not None
+        assert len(pipeline.threshold_table) > 0
+        uncalibrated = cache.pipeline("dit", **FAST)
+        assert uncalibrated.threshold_table is None
+        assert uncalibrated is not pipeline
+
+    def test_calibrate_without_ffn_reuse_skips_table(self):
+        cache = ThresholdCache()
+        config = ExionConfig.for_model("dit").ablation("ep")
+        pipeline = cache.pipeline("dit", config, calibrate=True, **FAST)
+        assert pipeline.threshold_table is None
+        assert cache.info()["tables"] == 0
+
+    def test_clear_drops_everything(self):
+        cache = ThresholdCache()
+        cache.pipeline("dit", **FAST)
+        cache.clear()
+        info = cache.info()
+        assert (info["models"], info["tables"], info["pipelines"]) == (0, 0, 0)

@@ -1,0 +1,119 @@
+"""Scheduler edge cases: empty queue, batch of one, max-wait policy."""
+
+import pytest
+
+from repro.serve.queue import RequestQueue
+from repro.serve.request import GenerationRequest
+from repro.serve.scheduler import BatchingPolicy, MicroBatch, Scheduler
+
+
+class TestRequestQueue:
+    def test_starts_empty(self):
+        queue = RequestQueue()
+        assert len(queue) == 0
+        assert queue.is_empty
+        assert queue.oldest_wait(now=100.0) == 0.0
+        assert queue.pop(8) == []
+
+    def test_submit_assigns_sequential_ids(self):
+        queue = RequestQueue()
+        first = queue.submit(seed=3)
+        second = queue.submit(seed=9)
+        assert (first.request_id, second.request_id) == (0, 1)
+        assert queue.total_submitted == 2
+
+    def test_fifo_pop(self):
+        queue = RequestQueue()
+        for seed in (5, 6, 7):
+            queue.submit(seed=seed)
+        batch = queue.pop(2)
+        assert [r.seed for r in batch] == [5, 6]
+        assert len(queue) == 1
+
+    def test_pop_validates_size(self):
+        with pytest.raises(ValueError):
+            RequestQueue().pop(0)
+
+    def test_oldest_wait_tracks_head(self):
+        queue = RequestQueue()
+        queue.submit(seed=1, now=10.0)
+        queue.submit(seed=2, now=14.0)
+        assert queue.oldest_wait(now=15.0) == pytest.approx(5.0)
+        queue.pop(1)
+        assert queue.oldest_wait(now=15.0) == pytest.approx(1.0)
+
+    def test_submit_request_passthrough(self):
+        queue = RequestQueue()
+        request = GenerationRequest(request_id=77, seed=1)
+        queue.submit_request(request)
+        assert queue.pop(1) == [request]
+
+
+class TestBatchingPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_wait_s=-1.0)
+
+    def test_defaults(self):
+        policy = BatchingPolicy()
+        assert policy.max_batch_size == 8
+        assert policy.max_wait_s == 0.0
+
+
+class TestScheduler:
+    def test_empty_queue_never_ready(self):
+        scheduler = Scheduler(RequestQueue(), BatchingPolicy(max_wait_s=0.0))
+        assert not scheduler.ready(now=1e9)
+        assert scheduler.next_batch(now=1e9) is None
+        assert list(scheduler.drain()) == []
+        assert scheduler.batches_formed == 0
+
+    def test_batch_of_one_dispatches_greedily(self):
+        queue = RequestQueue()
+        scheduler = Scheduler(queue, BatchingPolicy(max_batch_size=8))
+        queue.submit(seed=42)
+        batch = scheduler.next_batch(now=0.0)
+        assert isinstance(batch, MicroBatch)
+        assert len(batch) == 1
+        assert batch.seeds == (42,)
+        assert queue.is_empty
+
+    def test_partial_batch_waits_for_max_wait(self):
+        queue = RequestQueue()
+        scheduler = Scheduler(
+            queue, BatchingPolicy(max_batch_size=4, max_wait_s=2.0)
+        )
+        queue.submit(seed=0, now=10.0)
+        assert scheduler.next_batch(now=11.0) is None  # 1s < max_wait
+        batch = scheduler.next_batch(now=12.0)  # 2s >= max_wait
+        assert batch is not None and len(batch) == 1
+
+    def test_full_batch_dispatches_before_max_wait(self):
+        queue = RequestQueue()
+        scheduler = Scheduler(
+            queue, BatchingPolicy(max_batch_size=2, max_wait_s=60.0)
+        )
+        queue.submit(seed=0, now=0.0)
+        assert scheduler.next_batch(now=0.0) is None
+        queue.submit(seed=1, now=0.0)
+        batch = scheduler.next_batch(now=0.0)
+        assert batch is not None and len(batch) == 2
+
+    def test_batch_size_capped(self):
+        queue = RequestQueue()
+        scheduler = Scheduler(queue, BatchingPolicy(max_batch_size=3))
+        for seed in range(7):
+            queue.submit(seed=seed)
+        sizes = [len(b) for b in scheduler.drain()]
+        assert sizes == [3, 3, 1]
+        assert scheduler.batches_formed == 3
+
+    def test_drain_preserves_fifo_order(self):
+        queue = RequestQueue()
+        scheduler = Scheduler(queue, BatchingPolicy(max_batch_size=4))
+        for seed in range(6):
+            queue.submit(seed=seed)
+        seeds = [s for batch in scheduler.drain() for s in batch.seeds]
+        assert seeds == list(range(6))

@@ -1,0 +1,161 @@
+"""ExionServer end-to-end behavior: batching, results, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExionConfig
+from repro.core.pipeline import ExionPipeline
+from repro.models.zoo import build_model
+from repro.serve import BatchingPolicy, ExionServer, ThresholdCache
+
+FAST_ITERATIONS = 6
+
+
+class FakeClock:
+    """Deterministic clock the tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("total_iterations", FAST_ITERATIONS)
+    return ExionServer("dit", **kwargs)
+
+
+class TestServing:
+    def test_unknown_model_fails_at_construction(self):
+        from repro.core.config import ExionConfig
+
+        with pytest.raises(KeyError):
+            ExionServer("resnet50")
+        # Even with an explicit config (which skips for_model lookup).
+        with pytest.raises(KeyError):
+            ExionServer("resnet50", config=ExionConfig.for_model("dit"))
+
+    def test_results_ordered_and_batched(self):
+        server = make_server(policy=BatchingPolicy(max_batch_size=4))
+        for seed in range(10):
+            server.submit(seed=seed, class_label=seed % 2)
+        results = server.run_until_drained()
+        assert [r.request_id for r in results] == list(range(10))
+        assert [r.batch_size for r in results] == [4] * 8 + [2] * 2
+        report = server.report()
+        assert report.requests_served == 10
+        assert report.batches_served == 3
+        assert report.mean_batch_size == pytest.approx(10 / 3)
+        assert report.samples_per_s > 0
+
+    def test_step_honors_policy(self):
+        clock = FakeClock()
+        server = make_server(
+            policy=BatchingPolicy(max_batch_size=4, max_wait_s=5.0),
+            clock=clock,
+        )
+        server.submit(seed=0)
+        assert server.step() == []  # 1 request, waited 0s: not due
+        clock.now = 6.0
+        served = server.step()  # max_wait exceeded: batch of one
+        assert len(served) == 1
+        assert served[0].batch_size == 1
+        assert served[0].wait_s == pytest.approx(6.0)
+
+    def test_empty_queue_step_is_noop(self):
+        server = make_server()
+        assert server.step() == []
+        assert server.run_until_drained() == []
+        assert server.report().batches_served == 0
+
+    def test_served_results_match_sequential_generation(self):
+        server = make_server(policy=BatchingPolicy(max_batch_size=3))
+        seeds_labels = [(0, 5), (1, 5), (9, 2), (4, 0)]
+        for seed, label in seeds_labels:
+            server.submit(seed=seed, class_label=label)
+        results = server.run_until_drained()
+
+        model = build_model("dit", seed=0, total_iterations=FAST_ITERATIONS)
+        pipeline = ExionPipeline(model, ExionConfig.for_model("dit"))
+        for record, (seed, label) in zip(results, seeds_labels):
+            want = pipeline.generate(seed=seed, class_label=label)
+            assert np.array_equal(record.result.sample, want.sample)
+            assert record.result.stats.summary() == want.stats.summary()
+
+    def test_result_lookup_by_id(self):
+        server = make_server()
+        rid = server.submit(seed=3, class_label=1)
+        with pytest.raises(KeyError):
+            server.result(rid)
+        server.run_until_drained()
+        assert server.result(rid).request.seed == 3
+
+    def test_stats_isolation_across_requests(self):
+        server = make_server(policy=BatchingPolicy(max_batch_size=8))
+        for seed in range(3):
+            server.submit(seed=seed, class_label=0)
+        results = server.run_until_drained()
+        stats = [r.result.stats for r in results]
+        assert len({id(s) for s in stats}) == 3
+        merged = server.report().merged_stats
+        assert merged.ffn_layer1.dense == sum(
+            s.ffn_layer1.dense for s in stats
+        )
+        assert merged.dense_iterations == sum(
+            s.dense_iterations for s in stats
+        )
+
+    def test_shared_cache_across_servers(self):
+        cache = ThresholdCache()
+        first = make_server(cache=cache)
+        first.submit(seed=0)
+        first.run_until_drained()
+        misses_after_first = cache.info()["misses"]
+        second = make_server(cache=cache)
+        second.submit(seed=1)
+        second.run_until_drained()
+        # The second server reuses the first's model and pipeline.
+        assert cache.info()["misses"] == misses_after_first
+        assert cache.info()["hits"] > 0
+
+    def test_retain_results_false_keeps_memory_flat(self):
+        server = make_server(retain_results=False)
+        server.submit(seed=0, class_label=1)
+        served = server.run_until_drained()
+        assert len(served) == 1
+        assert server.results == {}
+        # Aggregates still accumulate incrementally.
+        report = server.report()
+        assert report.requests_served == 1
+        assert report.merged_stats.dense_iterations > 0
+
+    def test_result_pop_releases_storage(self):
+        server = make_server()
+        rid = server.submit(seed=0)
+        server.run_until_drained()
+        record = server.result(rid, pop=True)
+        assert record.request_id == rid
+        with pytest.raises(KeyError):
+            server.result(rid)
+        # Report aggregates survive the pop.
+        assert server.report().requests_served == 1
+
+    def test_report_returns_copy_of_aggregates(self):
+        server = make_server()
+        server.submit(seed=0)
+        server.run_until_drained()
+        report = server.report()
+        report.merged_stats.ffn_sparsities.clear()
+        assert server.report().merged_stats.ffn_sparsities
+
+    def test_latency_accounting(self):
+        clock = FakeClock()
+        server = make_server(clock=clock)
+        server.submit(seed=0)
+        clock.now = 2.0
+        (record,) = server.run_until_drained()
+        assert record.wait_s == pytest.approx(2.0)
+        assert record.latency_s == pytest.approx(
+            record.wait_s + record.service_s
+        )

@@ -19,6 +19,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["generate", "--ablation", "everything"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.model == "dit"
+        assert args.requests == 8
+        assert args.batch_size == 8
+        assert args.max_wait == 0.0
+        assert not args.calibrate
+
 
 class TestCommands:
     def test_models(self, capsys):
@@ -43,6 +51,47 @@ class TestCommands:
             "--class-label", "3", "--ablation", "ffnr",
         ])
         assert code == 0
+
+    def test_serve(self, capsys):
+        code = main([
+            "serve", "--model", "dit", "--requests", "5",
+            "--batch-size", "2", "--iterations", "5", "--class-label", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Served dit" in out
+        assert "batches=3" in out
+        assert "samples/s" in out
+
+    def test_serve_compare_sequential(self, capsys):
+        code = main([
+            "serve", "--model", "mdm", "--requests", "2",
+            "--batch-size", "2", "--iterations", "4",
+            "--compare-sequential",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out
+        assert "speedup" in out
+
+    def test_serve_zero_requests(self, capsys):
+        code = main([
+            "serve", "--requests", "0", "--iterations", "4",
+            "--compare-sequential",
+        ])
+        assert code == 0
+        assert "batches=0" in capsys.readouterr().out
+
+    def test_serve_max_wait_tail_batch(self, capsys):
+        code = main([
+            "serve", "--model", "dit", "--requests", "3",
+            "--batch-size", "2", "--iterations", "4",
+            "--max-wait", "0.05", "--class-label", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # 3 requests at batch size 2: one full batch, one waited-out tail.
+        assert "batches=2" in out
 
     def test_simulate(self, capsys):
         assert main(["simulate", "--model", "mdm"]) == 0

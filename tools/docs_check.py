@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Documentation lint for the repro package.
+
+Two checks, both hard failures:
+
+1. **Docstrings** — every public module under ``src/repro`` (any module
+   whose dotted path has no ``_``-prefixed component) must carry a
+   non-trivial module docstring.
+2. **Exports** — every ``__all__`` entry must resolve to an attribute of
+   its module, contain no duplicates, and be sorted, so the package
+   ``__init__`` files never advertise stale names.
+
+Run from the repository root::
+
+    python tools/docs_check.py
+
+Exit status is non-zero on any finding; the Makefile ``docs-check``
+target and CI wire this in.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+MIN_DOCSTRING_CHARS = 20
+
+
+def iter_public_modules() -> list[str]:
+    """Dotted names of all public modules under ``src/repro``."""
+    names = ["repro"]
+    package_dir = str(SRC / "repro")
+    for info in pkgutil.walk_packages([package_dir], prefix="repro."):
+        parts = info.name.split(".")
+        if any(part.startswith("_") for part in parts[1:]):
+            continue
+        names.append(info.name)
+    return sorted(names)
+
+
+def check_module(name: str) -> list[str]:
+    problems = []
+    try:
+        module = importlib.import_module(name)
+    except Exception as exc:  # pragma: no cover - import bugs are findings
+        return [f"{name}: import failed: {exc!r}"]
+
+    doc = (module.__doc__ or "").strip()
+    if len(doc) < MIN_DOCSTRING_CHARS:
+        problems.append(
+            f"{name}: missing or trivial module docstring "
+            f"({len(doc)} chars, need >= {MIN_DOCSTRING_CHARS})"
+        )
+
+    exported = getattr(module, "__all__", None)
+    if exported is not None:
+        for entry in exported:
+            if not hasattr(module, entry):
+                problems.append(
+                    f"{name}: __all__ entry {entry!r} does not resolve"
+                )
+        if len(set(exported)) != len(exported):
+            dupes = sorted(
+                {e for e in exported if list(exported).count(e) > 1}
+            )
+            problems.append(f"{name}: duplicate __all__ entries {dupes}")
+        if list(exported) != sorted(exported):
+            problems.append(f"{name}: __all__ is not sorted")
+    return problems
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC))
+    modules = iter_public_modules()
+    findings: list[str] = []
+    for name in modules:
+        findings.extend(check_module(name))
+
+    if findings:
+        print(f"docs-check: {len(findings)} problem(s) in "
+              f"{len(modules)} modules")
+        for finding in findings:
+            print(f"  - {finding}")
+        return 1
+    print(f"docs-check: {len(modules)} public modules documented, "
+          f"all __all__ exports resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
