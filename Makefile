@@ -1,23 +1,37 @@
 # Developer entry points for the EXION reproduction.
 #
-#   make test         tier-1 test suite (the CI gate)
-#   make bench-smoke  serving-throughput bench + one figure bench
-#   make docs-check   docstring + __all__ export lint
-#   make check        all of the above
+#   make test           tier-1 test suite (the CI gate)
+#   make lint           ruff check (pyflakes + pycodestyle errors)
+#   make bench          full structured bench run -> bench_results/
+#   make bench-smoke    fast subset (tag:smoke) of the structured benches
+#   make bench-compare  diff bench_results/ against the committed baseline
+#   make docs-check     docstring + __all__ export lint
+#   make check          test + docs-check + bench-smoke
 
 PYTHON ?= python
 PYTHONPATH := src
+BENCH_OUT ?= bench_results
+BASELINE ?= benchmarks/baseline/BENCH_repro.json
 
-.PHONY: test bench-smoke docs-check check
+.PHONY: test lint bench bench-smoke bench-compare docs-check check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
+lint:
+	$(PYTHON) -m ruff check .
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench --run all \
+		--out $(BENCH_OUT) --verbose
+
 bench-smoke:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
-		benchmarks/bench_serve_throughput.py \
-		benchmarks/bench_fig06_ffn_reuse.py \
-		--import-mode=importlib -s -q
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench --run tag:smoke \
+		--out $(BENCH_OUT)
+
+bench-compare:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_compare.py \
+		$(BASELINE) $(BENCH_OUT)/BENCH_repro.json
 
 docs-check:
 	$(PYTHON) tools/docs_check.py

@@ -6,14 +6,36 @@ increase intra-iteration sparsity at an accuracy cost.
 """
 
 from dataclasses import replace
+from functools import lru_cache
 
-from repro.analysis.report import format_table, percent
+from repro.analysis.report import percent
+from repro.bench import BenchResult, register_bench
 from repro.core.config import ExionConfig
 from repro.core.pipeline import ExionPipeline
 from repro.models.zoo import build_model
 from repro.workloads.metrics import psnr
 
-from .conftest import emit
+from .conftest import emit_result
+
+SWEEP_TOP_K = (0.8, 0.4, 0.1)
+SWEEP_Q_TH = (1e9, 0.5)
+
+
+def _point_key(top_k, q_th):
+    q_label = "inf" if q_th > 1e6 else f"{q_th:g}"
+    return f"k{top_k:g}_q{q_label}"
+
+
+@lru_cache(maxsize=1)
+def _model_and_vanilla():
+    """Shared by the builder and the pytest kernel timing: the model is
+    deterministic and read-only across pipelines, so one build + one
+    vanilla reference serve both."""
+    model = build_model("dit", seed=0, total_iterations=18)
+    vanilla = ExionPipeline(
+        model, ExionConfig.for_model("dit")
+    ).generate_vanilla(seed=1, class_label=5)
+    return model, vanilla
 
 
 def run_point(model, vanilla, top_k, q_th):
@@ -32,18 +54,18 @@ def run_point(model, vanilla, top_k, q_th):
     }
 
 
-def test_ablation_ep_sweep(benchmark):
-    model = build_model("dit", seed=0, total_iterations=18)
-    vanilla = ExionPipeline(
-        model, ExionConfig.for_model("dit")
-    ).generate_vanilla(seed=1, class_label=5)
+@register_bench("ablation_ep_sweep", tags=("ablation", "core"))
+def build_ep_sweep(ctx):
+    model, vanilla = _model_and_vanilla()
 
     points = [
         run_point(model, vanilla, top_k, q_th)
-        for top_k in (0.8, 0.4, 0.1)
-        for q_th in (1e9, 0.5)
+        for top_k in SWEEP_TOP_K
+        for q_th in SWEEP_Q_TH
     ]
-    emit(format_table(
+    result = BenchResult("ablation_ep_sweep", model="dit")
+    result.add_series(
+        "Ablation — EP (top-k, q_th) sweep on DiT",
         ["top-k", "q_th", "attn sparsity", "KV-proj skip", "PSNR"],
         [
             [
@@ -55,17 +77,37 @@ def test_ablation_ep_sweep(benchmark):
             ]
             for p in points
         ],
-        title="Ablation — EP (top-k, q_th) sweep on DiT",
-    ))
+    )
+    for p in points:
+        key = _point_key(p["top_k"], p["q_th"])
+        result.add_metric(f"{key}.attn_sparsity", p["sparsity"],
+                          direction="higher_better", tolerance=0.10)
+        result.add_metric(f"{key}.psnr_db", p["psnr"], unit="dB",
+                          direction="higher_better", tolerance=0.15)
+        result.add_metric(f"{key}.kv_skip_rate", p["kv_skip"],
+                          direction="higher_better", tolerance=0.15)
+    return result
+
+
+def test_ablation_ep_sweep(benchmark, bench_ctx):
+    result = build_ep_sweep(bench_ctx)
+    emit_result(result)
 
     # Smaller k -> more sparsity (paper II-B: 20-95% across configs).
-    no_dominance = [p for p in points if p["q_th"] > 1e6]
-    sparsities = [p["sparsity"] for p in no_dominance]
+    no_dominance = [
+        (result.value(f"{_point_key(k, 1e9)}.attn_sparsity"),
+         result.value(f"{_point_key(k, 1e9)}.psnr_db"))
+        for k in SWEEP_TOP_K
+    ]
+    sparsities = [s for s, _ in no_dominance]
     assert sparsities == sorted(sparsities)
     # Keeping more yields better accuracy.
-    assert no_dominance[0]["psnr"] >= no_dominance[-1]["psnr"] - 0.5
+    assert no_dominance[0][1] >= no_dominance[-1][1] - 0.5
     # Enabling dominance skipping adds sparsity at fixed k.
-    for i in range(0, len(points), 2):
-        assert points[i + 1]["sparsity"] >= points[i]["sparsity"] - 1e-9
+    for k in SWEEP_TOP_K:
+        with_dom = result.value(f"{_point_key(k, 0.5)}.attn_sparsity")
+        without = result.value(f"{_point_key(k, 1e9)}.attn_sparsity")
+        assert with_dom >= without - 1e-9
 
+    model, vanilla = _model_and_vanilla()
     benchmark(run_point, model, vanilla, 0.4, 0.5)

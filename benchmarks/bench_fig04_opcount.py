@@ -6,14 +6,19 @@ paper's reported totals and transformer shares.
 """
 
 from repro.analysis.opcount import operation_breakdown_table
-from repro.analysis.report import format_table, percent
+from repro.analysis.report import percent
+from repro.bench import BenchResult, register_bench
+from repro.workloads.specs import BENCHMARK_ORDER
 
-from .conftest import emit
+from .conftest import emit_result
 
 
-def test_fig04_operation_breakdown(benchmark):
-    rows = benchmark(operation_breakdown_table)
-    table = format_table(
+@register_bench("fig04_opcount", tags=("figure", "analysis", "smoke"))
+def build_fig04(ctx):
+    rows = operation_breakdown_table()
+    result = BenchResult("fig04_opcount", model="all")
+    result.add_series(
+        "Fig. 4 — number-of-operations breakdown (per iteration)",
         ["model", "total ops/iter", "paper", "qkv", "attn", "ffn", "etc",
          "transformer", "paper tx"],
         [
@@ -30,12 +35,35 @@ def test_fig04_operation_breakdown(benchmark):
             ]
             for r in rows
         ],
-        title="Fig. 4 — number-of-operations breakdown (per iteration)",
     )
-    emit(table)
+    # Rows come back in BENCHMARK_ORDER; key metrics by the spec name,
+    # not the display name the table prints.
+    for name, r in zip(BENCHMARK_ORDER, rows):
+        result.add_metric(
+            f"{name}.transformer_share", r["transformer_share"],
+            paper=r["paper_transformer_share"], direction="two_sided",
+            tolerance=0.05,
+        )
+        result.add_metric(
+            f"{name}.ffn_share_of_transformer", r["ffn_share_of_transformer"],
+            direction="higher_better", tolerance=0.10,
+        )
+        result.add_metric(
+            f"{name}.total_ops", r["total_ops"], unit="ops/iter",
+            paper=r["paper_total_ops"], direction="two_sided", tolerance=0.05,
+        )
+    return result
+
+
+def test_fig04_operation_breakdown(benchmark, bench_ctx):
+    result = build_fig04(bench_ctx)
+    emit_result(result)
 
     # Shape assertions: transformer shares match the paper's figure and
     # FFN is the dominant transformer category everywhere.
-    for r in rows:
-        assert abs(r["transformer_share"] - r["paper_transformer_share"]) < 0.03
-        assert r["ffn_share_of_transformer"] >= 0.4
+    for name in BENCHMARK_ORDER:
+        metric = result.metric(f"{name}.transformer_share")
+        assert abs(metric.value - metric.paper) < 0.03
+        assert result.value(f"{name}.ffn_share_of_transformer") >= 0.4
+
+    benchmark(operation_breakdown_table)

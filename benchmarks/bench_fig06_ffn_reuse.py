@@ -8,13 +8,14 @@ diffusion process, next to the paper's numbers.
 
 import pytest
 
-from repro.analysis.report import format_table, percent
+from repro.analysis.report import percent
+from repro.bench import BenchResult, register_bench
 from repro.core.config import ExionConfig
 from repro.core.pipeline import ExionPipeline
 from repro.models.zoo import build_model
 from repro.workloads.specs import BENCHMARK_ORDER, get_spec
 
-from .conftest import emit
+from .conftest import emit_result
 
 
 def run_ffn_reuse(name, iterations=None):
@@ -25,7 +26,8 @@ def run_ffn_reuse(name, iterations=None):
     return spec, result.stats
 
 
-def test_fig06_ffn_reuse_table(benchmark):
+@register_bench("fig06_ffn_reuse", tags=("figure", "core"))
+def build_fig06(ctx):
     rows = []
     for name in BENCHMARK_ORDER:
         # Full schedules at simulation scale are cheap; keep a couple of
@@ -33,9 +35,11 @@ def test_fig06_ffn_reuse_table(benchmark):
         spec, stats = run_ffn_reuse(name, iterations=min(
             get_spec(name).total_iterations, 30
         ))
-        rows.append((spec, stats))
+        rows.append((name, spec, stats))
 
-    table = format_table(
+    result = BenchResult("fig06_ffn_reuse", model="all")
+    result.add_series(
+        "Fig. 6 — FFN-Reuse inter-iteration sparsity and op reduction",
         ["model", "N", "sparsity", "paper", "FFN ops cut", "paper cut"],
         [
             [
@@ -46,18 +50,34 @@ def test_fig06_ffn_reuse_table(benchmark):
                 percent(stats.ffn_ops_reduction),
                 percent(spec.paper_ffn_ops_reduction),
             ]
-            for spec, stats in rows
+            for _, spec, stats in rows
         ],
-        title="Fig. 6 — FFN-Reuse inter-iteration sparsity and op reduction",
     )
-    emit(table)
+    for name, spec, stats in rows:
+        result.add_metric(
+            f"{name}.ffn_output_sparsity", stats.ffn_output_sparsity,
+            paper=spec.target_inter_sparsity, direction="two_sided",
+            tolerance=0.07,
+        )
+        result.add_metric(
+            f"{name}.ffn_ops_reduction", stats.ffn_ops_reduction,
+            paper=spec.paper_ffn_ops_reduction, direction="higher_better",
+            tolerance=0.10,
+        )
+    return result
 
-    for spec, stats in rows:
+
+def test_fig06_ffn_reuse_table(benchmark, bench_ctx):
+    result = build_fig06(bench_ctx)
+    emit_result(result)
+
+    for name in BENCHMARK_ORDER:
+        spec = get_spec(name)
         # Measured sparsity tracks the Table I target.
-        assert stats.ffn_output_sparsity == pytest.approx(
+        assert result.value(f"{name}.ffn_output_sparsity") == pytest.approx(
             spec.target_inter_sparsity, abs=0.05
         )
         # Paper range: 52.47% - 85.41% of FFN ops skipped.
-        assert 0.35 <= stats.ffn_ops_reduction <= 0.95
+        assert 0.35 <= result.value(f"{name}.ffn_ops_reduction") <= 0.95
 
     benchmark(run_ffn_reuse, "dit", 12)

@@ -7,14 +7,14 @@ measured sparsity levels and column structure.
 """
 
 import numpy as np
-import pytest
 
-from repro.analysis.report import format_table, percent
+from repro.analysis.report import percent
+from repro.bench import BenchResult, register_bench
 from repro.core.conmerge.condense import condense
 from repro.workloads.generator import ffn_output_bitmask
 from repro.workloads.specs import get_spec
 
-from .conftest import emit
+from .conftest import emit_result
 
 PAPER_REMAINING = {"mld": 0.138, "stable_diffusion": 0.774}
 
@@ -32,11 +32,14 @@ def condensing_ratio(name, seed=0):
     return condense(mask).remaining_ratio
 
 
-def test_fig08_condensing(benchmark):
+@register_bench("fig08_condensing", tags=("figure", "conmerge", "smoke"))
+def build_fig08(ctx):
     ratios = {
         name: condensing_ratio(name) for name in PAPER_REMAINING
     }
-    table = format_table(
+    result = BenchResult("fig08_condensing", model="mld,stable_diffusion")
+    result.add_series(
+        "Fig. 8 — remaining columns after condensing (1st FFN layer)",
         ["model", "remaining columns", "paper"],
         [
             [get_spec(name).display_name, percent(ratio), percent(paper)]
@@ -44,13 +47,25 @@ def test_fig08_condensing(benchmark):
                 ratios.items(), PAPER_REMAINING.values()
             )
         ],
-        title="Fig. 8 — remaining columns after condensing (1st FFN layer)",
     )
-    emit(table)
+    for name, ratio in ratios.items():
+        result.add_metric(
+            f"{name}.remaining_ratio", ratio,
+            paper=PAPER_REMAINING[name], direction="lower_better",
+            tolerance=0.10,
+        )
+    return result
+
+
+def test_fig08_condensing(benchmark, bench_ctx):
+    result = build_fig08(bench_ctx)
+    emit_result(result)
 
     # Shape: MLD condenses dramatically; Stable Diffusion barely.
-    assert ratios["mld"] < 0.35
-    assert ratios["stable_diffusion"] > 0.60
-    assert ratios["mld"] < ratios["stable_diffusion"] / 2
+    mld = result.value("mld.remaining_ratio")
+    sd = result.value("stable_diffusion.remaining_ratio")
+    assert mld < 0.35
+    assert sd > 0.60
+    assert mld < sd / 2
 
     benchmark(condensing_ratio, "stable_diffusion")

@@ -7,15 +7,15 @@ single digits (8.4% in the paper).
 """
 
 import numpy as np
-import pytest
 
-from repro.analysis.report import format_table, percent
+from repro.analysis.report import percent
+from repro.bench import BenchResult, register_bench
 from repro.core.conmerge.condense import condense
 from repro.core.conmerge.cvg import conmerge_tiled
 from repro.workloads.generator import ffn_output_bitmask
 from repro.workloads.specs import get_spec
 
-from .conftest import emit
+from .conftest import emit_result
 
 
 def sd_mask(rows=256, cols=1024, seed=0):
@@ -26,28 +26,55 @@ def sd_mask(rows=256, cols=1024, seed=0):
     )
 
 
-def test_fig09_merging(benchmark):
+@register_bench("fig09_merging", tags=("figure", "conmerge", "smoke"))
+def build_fig09(ctx):
     mask = sd_mask()
     whole_matrix_condense = condense(mask).remaining_ratio
-    result = benchmark(conmerge_tiled, mask)
+    merged = conmerge_tiled(mask)
 
-    table = format_table(
+    result = BenchResult("fig09_merging", model="stable_diffusion")
+    result.add_series(
+        "Fig. 9 — Stable Diffusion remaining columns through ConMerge",
         ["stage", "remaining columns", "paper"],
         [
             ["condensing (whole matrix)", percent(whole_matrix_condense),
              "77.4%"],
-            ["condensing (per 16-row tile)", percent(result.condense_ratio),
+            ["condensing (per 16-row tile)", percent(merged.condense_ratio),
              "-"],
-            ["+ merging (ConMerge)", percent(result.remaining_column_ratio),
+            ["+ merging (ConMerge)", percent(merged.remaining_column_ratio),
              "8.4%"],
         ],
-        title="Fig. 9 — Stable Diffusion remaining columns through ConMerge",
     )
-    emit(table)
+    result.add_metric(
+        "whole_matrix_condense_ratio", whole_matrix_condense,
+        paper=0.774, direction="two_sided", tolerance=0.15,
+    )
+    result.add_metric(
+        "tile_condense_ratio", merged.condense_ratio,
+        direction="lower_better", tolerance=0.15,
+    )
+    result.add_metric(
+        "conmerge_remaining_ratio", merged.remaining_column_ratio,
+        paper=0.084, direction="lower_better", tolerance=0.15,
+    )
+    result.add_metric(
+        "utilization", merged.utilization,
+        direction="higher_better", tolerance=0.15,
+    )
+    return result
+
+
+def test_fig09_merging(benchmark, bench_ctx):
+    result = build_fig09(bench_ctx)
+    emit_result(result)
 
     # Shape: condensing alone leaves most columns; ConMerge collapses them.
-    assert whole_matrix_condense > 0.6
-    assert result.remaining_column_ratio < 0.45
-    assert result.remaining_column_ratio < whole_matrix_condense / 2
+    whole = result.value("whole_matrix_condense_ratio")
+    remaining = result.value("conmerge_remaining_ratio")
+    assert whole > 0.6
+    assert remaining < 0.45
+    assert remaining < whole / 2
     # Merged blocks execute at decent utilization.
-    assert result.utilization > 0.2
+    assert result.value("utilization") > 0.2
+
+    benchmark(conmerge_tiled, sd_mask())

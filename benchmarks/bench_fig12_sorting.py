@@ -10,12 +10,13 @@ failure and the need to try merging with other blocks").
 
 import numpy as np
 
-from repro.analysis.report import format_table, percent
+from repro.analysis.report import percent
+from repro.bench import BenchResult, register_bench
 from repro.core.conmerge.cvg import conmerge
 from repro.workloads.generator import ffn_output_bitmask
 from repro.workloads.specs import get_spec
 
-from .conftest import emit
+from .conftest import emit_result
 
 PAPER_DECREMENT = {
     "mdm": 0.3445,
@@ -43,7 +44,9 @@ def merge_cost(name, sort, seeds=range(4)):
     return cycles / max(successes, 1)
 
 
-def test_fig12_sorting(benchmark):
+@register_bench("fig12_sorting", tags=("figure", "conmerge", "smoke"))
+def build_fig12(ctx):
+    result = BenchResult("fig12_sorting", model="all")
     rows = []
     decrements = {}
     for name, paper in PAPER_DECREMENT.items():
@@ -51,6 +54,10 @@ def test_fig12_sorting(benchmark):
         random_cost = merge_cost(name, sort=False)
         dec = 1.0 - sorted_cost / random_cost
         decrements[name] = dec
+        result.add_metric(
+            f"{name}.cycle_decrement", dec, paper=paper,
+            direction="higher_better", tolerance=0.25,
+        )
         rows.append(
             [
                 get_spec(name).display_name,
@@ -60,17 +67,30 @@ def test_fig12_sorting(benchmark):
                 percent(paper),
             ]
         )
-    table = format_table(
+    result.add_series(
+        "Fig. 12 — merge-cycle reduction from sparsity-level sorting",
         ["model", "sorted cyc/merge", "random cyc/merge", "decrement",
          "paper"],
         rows,
-        title="Fig. 12 — merge-cycle reduction from sparsity-level sorting",
     )
-    emit(table)
+    result.add_metric(
+        "mean_cycle_decrement", float(np.mean(list(decrements.values()))),
+        direction="higher_better", tolerance=0.25,
+    )
+    return result
 
+
+def test_fig12_sorting(benchmark, bench_ctx):
+    result = build_fig12(bench_ctx)
+    emit_result(result)
+
+    decrements = {
+        name: result.value(f"{name}.cycle_decrement")
+        for name in PAPER_DECREMENT
+    }
     # Shape: sorting helps on average, dramatically for denser workloads
     # (VideoCrafter2/DiT), and never hurts badly at extreme sparsity.
-    assert np.mean(list(decrements.values())) > 0.10
+    assert result.value("mean_cycle_decrement") > 0.10
     assert all(d > -0.15 for d in decrements.values())
     assert decrements["videocrafter2"] > 0.3  # densest workload, biggest win
 

@@ -9,13 +9,13 @@ All) at batch sizes one and eight:
   (paper gains: 45.1-3067.6x).
 """
 
-from repro.analysis.report import format_table
 from repro.baselines.gpu import GPUModel
 from repro.baselines.specs import EDGE_GPU, SERVER_GPU
+from repro.bench import BenchResult, register_bench
 from repro.hw.accelerator import ExionAccelerator
 from repro.workloads.specs import BENCHMARK_ORDER, get_spec
 
-from .conftest import emit
+from .conftest import emit_result
 
 EDGE_MODELS = ("mld", "mdm", "edge", "make_an_audio")
 ABLATIONS = (
@@ -24,6 +24,8 @@ ABLATIONS = (
     ("FFNR", True, False),
     ("All", True, True),
 )
+
+HEADERS = ["model", "Base", "EP", "FFNR", "All", "GPU TOPS/W"]
 
 
 def efficiency_rows(accelerator, gpu_model, models, profiles, batch):
@@ -47,39 +49,63 @@ def efficiency_rows(accelerator, gpu_model, models, profiles, batch):
     return rows, gains_all
 
 
-HEADERS = ["model", "Base", "EP", "FFNR", "All", "GPU TOPS/W"]
-
-
-def test_fig18a_edge(benchmark, profiles):
-    ex4 = ExionAccelerator.exion4()
-    gpu = GPUModel(EDGE_GPU)
+def _build_panel(result, accelerator, gpu, models, profiles, title_fmt):
     for batch in (1, 8):
-        rows, gains = efficiency_rows(ex4, gpu, EDGE_MODELS, profiles, batch)
-        emit(format_table(
-            HEADERS, rows,
-            title=(f"Fig. 18 (a) — energy-efficiency gain vs edge GPU, "
-                   f"batch={batch} (paper All-range 196.9-4668.2x @ b1)"),
-        ))
+        rows, gains = efficiency_rows(accelerator, gpu, models, profiles,
+                                      batch)
+        result.add_series(title_fmt.format(batch=batch), HEADERS, rows)
         for name, gain in gains.items():
-            assert gain > 5.0, (name, batch, gain)
+            result.add_metric(
+                f"b{batch}.{name}.gain_all", gain, unit="x",
+                direction="higher_better", tolerance=0.15,
+            )
+    return result
 
-    benchmark(
-        ex4.simulate, get_spec("mld"), profiles["mld"],
+
+@register_bench("fig18a_edge_efficiency", tags=("figure", "hw"))
+def build_fig18a(ctx):
+    result = BenchResult("fig18a_edge_efficiency", model="edge-set")
+    return _build_panel(
+        result, ExionAccelerator.exion4(), GPUModel(EDGE_GPU),
+        EDGE_MODELS, ctx.profiles,
+        ("Fig. 18 (a) — energy-efficiency gain vs edge GPU, "
+         "batch={batch} (paper All-range 196.9-4668.2x @ b1)"),
     )
 
 
-def test_fig18b_server(benchmark, profiles):
-    ex24 = ExionAccelerator.exion24()
-    gpu = GPUModel(SERVER_GPU)
+@register_bench("fig18b_server_efficiency", tags=("figure", "hw"))
+def build_fig18b(ctx):
+    result = BenchResult("fig18b_server_efficiency", model="all")
+    return _build_panel(
+        result, ExionAccelerator.exion24(), GPUModel(SERVER_GPU),
+        BENCHMARK_ORDER, ctx.profiles,
+        ("Fig. 18 (b) — energy-efficiency gain vs server GPU, "
+         "batch={batch} (paper All-range 45.1-3067.6x @ b1)"),
+    )
+
+
+def test_fig18a_edge(benchmark, bench_ctx):
+    result = build_fig18a(bench_ctx)
+    emit_result(result)
     for batch in (1, 8):
-        rows, gains = efficiency_rows(
-            ex24, gpu, BENCHMARK_ORDER, profiles, batch
-        )
-        emit(format_table(
-            HEADERS, rows,
-            title=(f"Fig. 18 (b) — energy-efficiency gain vs server GPU, "
-                   f"batch={batch} (paper All-range 45.1-3067.6x @ b1)"),
-        ))
+        for name in EDGE_MODELS:
+            gain = result.value(f"b{batch}.{name}.gain_all")
+            assert gain > 5.0, (name, batch, gain)
+
+    benchmark(
+        ExionAccelerator.exion4().simulate, get_spec("mld"),
+        bench_ctx.profiles["mld"],
+    )
+
+
+def test_fig18b_server(benchmark, bench_ctx):
+    result = build_fig18b(bench_ctx)
+    emit_result(result)
+    for batch in (1, 8):
+        gains = {
+            name: result.value(f"b{batch}.{name}.gain_all")
+            for name in BENCHMARK_ORDER
+        }
         for name, gain in gains.items():
             assert gain > 5.0, (name, batch, gain)
         # ResBlock models gain least (paper: Make-an-Audio / SD dip).
@@ -87,5 +113,6 @@ def test_fig18b_server(benchmark, profiles):
         assert gains["mld"] == max(gains.values())
 
     benchmark(
-        ex24.simulate, get_spec("dit"), profiles["dit"],
+        ExionAccelerator.exion24().simulate, get_spec("dit"),
+        bench_ctx.profiles["dit"],
     )

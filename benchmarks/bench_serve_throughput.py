@@ -17,16 +17,17 @@ Run with::
 """
 
 import time
+from functools import lru_cache
 
 import numpy as np
 
-from repro.analysis.report import format_table
+from repro.bench import BenchResult, register_bench
 from repro.core.config import ExionConfig
 from repro.core.pipeline import ExionPipeline
 from repro.models.zoo import build_model
 from repro.serve import BatchedPipeline
 
-from .conftest import emit
+from .conftest import emit_result
 
 ITERATIONS = 50
 BATCH = 8
@@ -42,8 +43,15 @@ def _best_of(fn, repeats: int = 3) -> float:
     return best
 
 
-def test_batched_serving_throughput(benchmark):
-    model = build_model("dit", seed=0, total_iterations=ITERATIONS)
+@lru_cache(maxsize=1)
+def _dit_model():
+    """One 50-iteration model build shared by builder and pytest kernel."""
+    return build_model("dit", seed=0, total_iterations=ITERATIONS)
+
+
+@register_bench("serve_throughput", tags=("serve",))
+def build_serve_throughput(ctx):
+    model = _dit_model()
     config = ExionConfig.for_model("dit")
     sequential = ExionPipeline(model, config)
     batched = BatchedPipeline(model, config)
@@ -56,14 +64,18 @@ def test_batched_serving_throughput(benchmark):
         sequential.generate(seed=s, class_label=CLASS_LABEL) for s in seeds
     ]
     single = batched.generate(seed=seeds[0], class_label=CLASS_LABEL)
-    assert np.array_equal(single.sample, reference[0].sample)
-    assert single.stats.summary() == reference[0].stats.summary()
-    assert single.stats.ffn_sparsities == reference[0].stats.ffn_sparsities
+    single_ok = (
+        np.array_equal(single.sample, reference[0].sample)
+        and single.stats.summary() == reference[0].stats.summary()
+        and single.stats.ffn_sparsities == reference[0].stats.ffn_sparsities
+    )
 
     _, batch_results = batched.generate_batch(seeds, class_label=CLASS_LABEL)
-    for got, want in zip(batch_results, reference):
-        assert np.array_equal(got.sample, want.sample)
-        assert got.stats.summary() == want.stats.summary()
+    batch_ok = all(
+        np.array_equal(got.sample, want.sample)
+        and got.stats.summary() == want.stats.summary()
+        for got, want in zip(batch_results, reference)
+    )
 
     # ------------------------------------------------------------------
     # throughput: batch-8 serving vs a sequential request loop
@@ -91,16 +103,41 @@ def test_batched_serving_throughput(benchmark):
         scaling_rows.append([size, f"{size / elapsed:.2f}",
                              f"{(size / elapsed) / sequential_rate:.2f}x"])
 
-    emit(format_table(
+    result = BenchResult("serve_throughput", model="dit")
+    result.add_series(
+        f"DiT serving throughput ({ITERATIONS} iterations)",
         ["batch size", "samples/s", "vs sequential"],
         [[f"sequential x{BATCH}", f"{sequential_rate:.2f}", "1.00x"]]
         + scaling_rows,
-        title=f"DiT serving throughput ({ITERATIONS} iterations)",
-    ))
+    )
+    result.add_metric("equivalence_single", 1.0 if single_ok else 0.0,
+                      direction="higher_better", tolerance=0.0)
+    result.add_metric("equivalence_batch", 1.0 if batch_ok else 0.0,
+                      direction="higher_better", tolerance=0.0)
+    result.add_metric("sequential_samples_per_s", sequential_rate,
+                      unit="samples/s", direction="higher_better",
+                      tolerance=0.25)
+    result.add_metric("batched_samples_per_s", batched_rate,
+                      unit="samples/s", direction="higher_better",
+                      tolerance=0.25)
+    result.add_metric("speedup_batch8", speedup, unit="x",
+                      direction="higher_better", tolerance=0.20)
+    return result
+
+
+def test_batched_serving_throughput(benchmark, bench_ctx):
+    result = build_serve_throughput(bench_ctx)
+    emit_result(result)
+
+    assert result.value("equivalence_single") == 1.0
+    assert result.value("equivalence_batch") == 1.0
 
     # The acceptance bar of the serving layer: >= 2x at batch 8.
+    speedup = result.value("speedup_batch8")
     assert speedup >= 2.0, (
         f"batched serving reached only {speedup:.2f}x sequential throughput"
     )
 
-    benchmark(batched.generate_batch, seeds[:4], class_label=CLASS_LABEL)
+    batched = BatchedPipeline(_dit_model(), ExionConfig.for_model("dit"))
+    benchmark(batched.generate_batch, list(range(4)),
+              class_label=CLASS_LABEL)

@@ -12,8 +12,11 @@ This bench runs all three on DiT at matched/stated compute savings and
 reports accuracy against the vanilla 50-step reference.
 """
 
-from repro.analysis.report import format_table, percent
+from functools import lru_cache
+
+from repro.analysis.report import percent
 from repro.baselines.delta_dit import DeltaDiTPipeline
+from repro.bench import BenchResult, register_bench
 from repro.core.config import ExionConfig
 from repro.core.pipeline import ExionPipeline
 from repro.models.pipeline import DiffusionPipeline
@@ -21,62 +24,89 @@ from repro.models.scheduler import DDIMScheduler, DPMSolverPP2MScheduler
 from repro.models.zoo import build_model
 from repro.workloads.metrics import psnr
 
-from .conftest import emit
+from .conftest import emit_result
 
 ITERATIONS = 48
 
 
-def test_sw_baselines_vs_ffn_reuse(benchmark):
-    model = build_model("dit", seed=0, total_iterations=ITERATIONS)
+@lru_cache(maxsize=1)
+def _dit_model():
+    """One 48-iteration model build shared by builder and pytest kernel."""
+    return build_model("dit", seed=0, total_iterations=ITERATIONS)
+
+
+@register_bench("sw_baselines", tags=("baselines", "core"))
+def build_sw_baselines(ctx):
+    model = _dit_model()
     vanilla = model.make_pipeline().generate(seed=1, class_label=5)
 
+    result = BenchResult("sw_baselines", model="dit")
     rows = []
 
     # Fast sampling: run 1/4 of the iterations (75% compute cut).
     few = ITERATIONS // 4
-    for label, scheduler in (
-        ("DDIM @ 12 steps", DDIMScheduler()),
-        ("DPM-Solver++(2M) @ 12 steps", DPMSolverPP2MScheduler()),
+    for label, key, scheduler in (
+        ("DDIM @ 12 steps", "ddim", DDIMScheduler()),
+        ("DPM-Solver++(2M) @ 12 steps", "dpm_solver", DPMSolverPP2MScheduler()),
     ):
-        result = DiffusionPipeline(
+        sampled = DiffusionPipeline(
             model.network, scheduler, few, model.conditioning
         ).generate(seed=1, class_label=5)
-        rows.append([label, percent(0.75),
-                     f"{psnr(vanilla.sample, result.sample):.2f} dB"])
+        value = psnr(vanilla.sample, sampled.sample)
+        result.add_metric(f"{key}.psnr_db", value, unit="dB",
+                          direction="higher_better", tolerance=0.15)
+        rows.append([label, percent(0.75), f"{value:.2f} dB"])
 
     # Delta-DiT block caching.
     delta = DeltaDiTPipeline(model, cache_interval=2).generate(
         seed=1, class_label=5
     )
+    delta_psnr = psnr(vanilla.sample, delta.sample)
+    result.add_metric("delta_dit.psnr_db", delta_psnr, unit="dB",
+                      direction="higher_better", tolerance=0.15)
+    result.add_metric("delta_dit.ops_reduction", delta.ops_reduction,
+                      direction="higher_better", tolerance=0.10)
     rows.append([
         "Delta-DiT (cache middle blocks, N=2)",
         percent(delta.ops_reduction),
-        f"{psnr(vanilla.sample, delta.sample):.2f} dB",
+        f"{delta_psnr:.2f} dB",
     ])
 
     # FFN-Reuse at the Table I configuration.
     cfg = ExionConfig.for_model("dit", enable_eager_prediction=False)
     ffnr = ExionPipeline(model, cfg).generate(seed=1, class_label=5)
+    ffnr_psnr = psnr(vanilla.sample, ffnr.sample)
+    result.add_metric("ffn_reuse.psnr_db", ffnr_psnr, unit="dB",
+                      direction="higher_better", tolerance=0.15)
+    result.add_metric("ffn_reuse.ops_reduction",
+                      ffnr.stats.ffn_ops_reduction,
+                      direction="higher_better", tolerance=0.10)
     rows.append([
         "FFN-Reuse (EXION, N=2)",
         percent(ffnr.stats.ffn_ops_reduction) + " of FFN ops",
-        f"{psnr(vanilla.sample, ffnr.sample):.2f} dB",
+        f"{ffnr_psnr:.2f} dB",
     ])
 
-    emit(format_table(
+    result.add_series(
+        "Software baselines vs FFN-Reuse on DiT",
         ["method", "compute cut", "PSNR vs 48-step vanilla"],
         rows,
-        title="Software baselines vs FFN-Reuse on DiT",
-    ))
+    )
+    return result
 
-    psnrs = {row[0]: float(row[2].split()[0]) for row in rows}
+
+def test_sw_baselines_vs_ffn_reuse(benchmark, bench_ctx):
+    result = build_sw_baselines(bench_ctx)
+    emit_result(result)
+
     # FFN-Reuse stays at least as accurate as block caching.
-    assert psnrs["FFN-Reuse (EXION, N=2)"] >= (
-        psnrs["Delta-DiT (cache middle blocks, N=2)"] - 1.0
+    assert result.value("ffn_reuse.psnr_db") >= (
+        result.value("delta_dit.psnr_db") - 1.0
     )
     # All methods stay finite / correlated.
-    assert all(p > 3.0 for p in psnrs.values())
+    for key in ("ddim", "dpm_solver", "delta_dit", "ffn_reuse"):
+        assert result.value(f"{key}.psnr_db") > 3.0
 
     benchmark(
-        DeltaDiTPipeline(model, cache_interval=2).generate, 1, None, 5
+        DeltaDiTPipeline(_dit_model(), cache_interval=2).generate, 1, None, 5
     )

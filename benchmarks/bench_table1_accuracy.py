@@ -16,17 +16,24 @@ costs a little more accuracy.
 import numpy as np
 import pytest
 
-from repro.analysis.report import format_table, percent
+from repro.analysis.report import percent
+from repro.bench import BenchResult, register_bench
 from repro.core.config import ExionConfig
 from repro.core.pipeline import ExionPipeline
 from repro.models.zoo import build_model
 from repro.workloads.metrics import fid_proxy, psnr
 from repro.workloads.specs import BENCHMARK_ORDER, get_spec
 
+from .conftest import emit_result
+
 N_SAMPLES = 6
 ITERATIONS = 15
 
-from .conftest import emit
+METHOD_KEYS = {
+    "FFN-Reuse": "ffnr",
+    "FFN-Reuse+EP": "ffnr_ep",
+    "FFN-Reuse+EP+Quant": "ffnr_ep_quant",
+}
 
 
 def generate_batch(pipeline, method, seeds):
@@ -74,14 +81,28 @@ def evaluate_model(name):
     return rows
 
 
-def test_table1_accuracy(benchmark):
+@register_bench("table1_accuracy", tags=("table", "core"))
+def build_table1(ctx):
+    result = BenchResult("table1_accuracy", model="all")
     printable = []
-    results = {}
     for name in BENCHMARK_ORDER:
         spec = get_spec(name)
         rows = evaluate_model(name)
-        results[name] = rows
         for row in rows:
+            method = METHOD_KEYS[row["method"]]
+            result.add_metric(
+                f"{name}.{method}.psnr_db", row["psnr"], unit="dB",
+                direction="higher_better", tolerance=0.15,
+            )
+            result.add_metric(
+                f"{name}.{method}.fid_proxy", row["fid_proxy"],
+                direction="lower_better", tolerance=0.25,
+            )
+            result.add_metric(
+                f"{name}.{method}.inter_sparsity", row["inter"],
+                paper=spec.target_inter_sparsity, direction="two_sided",
+                tolerance=0.10,
+            )
             printable.append(
                 [
                     spec.display_name,
@@ -92,25 +113,32 @@ def test_table1_accuracy(benchmark):
                     percent(row["intra"]),
                 ]
             )
-    emit(format_table(
-        ["model", "method", "PSNR vs vanilla", "FID proxy",
-         "inter-iter sparsity", "intra-iter sparsity"],
-        printable,
-        title=(
+    result.add_series(
+        (
             "Table I — accuracy under EXION optimizations "
             "(paper PSNR ~10-33 dB; metric deltas small vs vanilla)"
         ),
-    ))
+        ["model", "method", "PSNR vs vanilla", "FID proxy",
+         "inter-iter sparsity", "intra-iter sparsity"],
+        printable,
+    )
+    return result
 
-    for name, rows in results.items():
+
+def test_table1_accuracy(benchmark, bench_ctx):
+    result = build_table1(bench_ctx)
+    emit_result(result)
+
+    for name in BENCHMARK_ORDER:
         spec = get_spec(name)
-        ffnr = rows[0]
         # FFN-Reuse sparsity lands on the Table I target.
-        assert ffnr["inter"] == pytest.approx(
+        assert result.value(f"{name}.ffnr.inter_sparsity") == pytest.approx(
             spec.target_inter_sparsity, abs=0.05
         ), name
         # Outputs remain correlated with vanilla in the paper's PSNR band.
-        for row in rows:
-            assert row["psnr"] > 4.0, (name, row)
+        for method in METHOD_KEYS.values():
+            assert result.value(f"{name}.{method}.psnr_db") > 4.0, (
+                name, method,
+            )
 
     benchmark(evaluate_model, "mld")

@@ -1,36 +1,36 @@
 """Shared fixtures for the benchmark harness.
 
 Every table and figure of the paper's evaluation has one ``bench_*.py``
-module here. Run with::
+module here. Each module registers its builder(s) with
+``@repro.bench.register_bench`` and keeps a pytest wrapper that renders
+the structured :class:`~repro.bench.BenchResult` (same printed tables as
+always) and asserts on its metrics. Run under pytest with::
 
     pytest benchmarks/ --benchmark-only -s
 
-Each bench prints the rows/series the paper reports (with the paper's own
-numbers alongside for comparison) and times a representative kernel through
-pytest-benchmark.
+or through the structured runner, which writes ``BENCH_<name>.json``
+files instead of asserting::
+
+    python -m repro bench --run all
 """
 
-import numpy as np
 import pytest
 
-from repro.hw.profile import estimate_profile
-from repro.workloads.specs import BENCHMARK_ORDER, get_spec
+from repro.bench import BenchContext
 
 
 @pytest.fixture(scope="session")
-def profiles():
-    """Paper-scale sparsity profiles for all benchmark models."""
-    return {
-        name: estimate_profile(get_spec(name), seed=0)
-        for name in BENCHMARK_ORDER
-    }
-
-
-@pytest.fixture(scope="session")
-def bench_rng():
-    return np.random.default_rng(2025)
+def bench_ctx():
+    """Shared bench context (caches paper-scale sparsity profiles)."""
+    return BenchContext()
 
 
 def emit(text):
     """Print a bench table with surrounding whitespace (shown with -s)."""
     print("\n" + text + "\n")
+
+
+def emit_result(result):
+    """Print every table and note of a BenchResult, one emit() each."""
+    for block in result.render_blocks():
+        emit(block)

@@ -1,0 +1,231 @@
+"""Diff two bench result sets and flag regressions.
+
+The comparator is the repo's perf gate: given a *baseline* result set
+(normally the committed ``benchmarks/baseline/BENCH_repro.json``) and a
+*current* one (a fresh ``python -m repro bench --run all``), it walks
+every bench present in the baseline and checks
+
+- **metrics** against each metric's own contract — ``direction`` says
+  which way is worse, ``tolerance`` how far relative drift may go;
+- **latency** (``timing.wall_s``) against a global relative tolerance
+  *and* an absolute slack floor — sub-second benches jitter by large
+  relative factors run to run, so a slowdown must clear both the
+  relative tolerance and ``latency_min_abs_s`` of real wall time before
+  it counts. Speedups clearing both are reported as improvements.
+
+Benches or metrics missing from the current set are notes by default
+and regressions under ``strict``. Identical result sets always compare
+clean: every rule is a pure function of the two documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.report import format_table
+
+#: Default relative wall-clock slack before a bench counts as slower.
+DEFAULT_LATENCY_TOLERANCE = 0.10
+
+#: Minimum absolute wall-clock delta (seconds) before latency drift
+#: counts at all; filters run-to-run jitter on millisecond benches.
+DEFAULT_LATENCY_MIN_ABS_S = 0.25
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison outcome for a single metric or timing."""
+
+    bench: str
+    kind: str  # "metric" | "latency" | "coverage"
+    name: str
+    baseline: Optional[float]
+    current: Optional[float]
+    delta_rel: Optional[float]
+    message: str
+
+
+@dataclass
+class CompareReport:
+    """All findings of one baseline-vs-current comparison."""
+
+    regressions: list = field(default_factory=list)
+    improvements: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def _results_of(document: dict) -> dict:
+    """Accept an aggregate document or a single bench result."""
+    if "results" in document:
+        return dict(document["results"])
+    if "name" in document:
+        return {document["name"]: document}
+    raise ValueError("document is neither an aggregate nor a bench result")
+
+
+def load_results(path) -> dict:
+    """Load ``{bench_name: result_dict}`` from a file or directory.
+
+    A directory is read through its ``BENCH_repro.json`` aggregate when
+    present, else by merging every ``BENCH_*.json`` inside.
+    """
+    import json
+
+    path = Path(path)
+    if path.is_dir():
+        aggregate = path / "BENCH_repro.json"
+        if aggregate.is_file():
+            return _results_of(json.loads(aggregate.read_text()))
+        merged: dict = {}
+        for file in sorted(path.glob("BENCH_*.json")):
+            merged.update(_results_of(json.loads(file.read_text())))
+        if not merged:
+            raise FileNotFoundError(f"no BENCH_*.json files under {path}")
+        return merged
+    return _results_of(json.loads(path.read_text()))
+
+
+def _rel_delta(old: float, new: float) -> float:
+    return (new - old) / max(abs(old), _EPS)
+
+
+def _compare_metric(bench: str, name: str, old: dict, new: dict,
+                    report: CompareReport) -> None:
+    old_value = float(old["value"])
+    new_value = float(new["value"])
+    tolerance = float(old.get("tolerance", 0.05))
+    direction = old.get("direction", "two_sided")
+    rel = _rel_delta(old_value, new_value)
+
+    if direction == "lower_better":
+        regressed = rel > tolerance
+        improved = rel < -tolerance
+    elif direction == "higher_better":
+        regressed = rel < -tolerance
+        improved = rel > tolerance
+    else:  # two_sided
+        regressed = abs(rel) > tolerance
+        improved = False
+
+    if not regressed and not improved:
+        return
+    unit = f" {old['unit']}" if old.get("unit") else ""
+    finding = Finding(
+        bench=bench, kind="metric", name=name,
+        baseline=old_value, current=new_value, delta_rel=rel,
+        message=(
+            f"{bench}:{name} {old_value:.6g} -> {new_value:.6g}{unit} "
+            f"({rel:+.1%}, {direction}, tol {tolerance:.0%})"
+        ),
+    )
+    (report.regressions if regressed else report.improvements).append(finding)
+
+
+def _compare_latency(bench: str, old: dict, new: dict,
+                     latency_tolerance: float,
+                     latency_min_abs_s: float,
+                     report: CompareReport) -> None:
+    old_wall = float(old.get("timing", {}).get("wall_s", 0.0))
+    new_wall = float(new.get("timing", {}).get("wall_s", 0.0))
+    if old_wall <= 0.0:
+        return
+    rel = _rel_delta(old_wall, new_wall)
+    if abs(rel) <= latency_tolerance:
+        return
+    if abs(new_wall - old_wall) <= latency_min_abs_s:
+        return
+    finding = Finding(
+        bench=bench, kind="latency", name="wall_s",
+        baseline=old_wall, current=new_wall, delta_rel=rel,
+        message=(
+            f"{bench}: wall {old_wall:.3f}s -> {new_wall:.3f}s "
+            f"({rel:+.1%}, tol {latency_tolerance:.0%})"
+        ),
+    )
+    (report.regressions if rel > 0 else report.improvements).append(finding)
+
+
+def compare_results(baseline: dict, current: dict,
+                    latency_tolerance: float = DEFAULT_LATENCY_TOLERANCE,
+                    latency_min_abs_s: float = DEFAULT_LATENCY_MIN_ABS_S,
+                    strict: bool = False) -> CompareReport:
+    """Compare two ``{name: result_dict}`` sets; baseline defines the gate."""
+    report = CompareReport()
+    for bench, old in sorted(baseline.items()):
+        new = current.get(bench)
+        if new is None:
+            finding = Finding(
+                bench=bench, kind="coverage", name="bench",
+                baseline=None, current=None, delta_rel=None,
+                message=f"{bench}: present in baseline, missing from current",
+            )
+            (report.regressions if strict else report.notes).append(finding)
+            continue
+        for metric_name, old_metric in sorted(old.get("metrics", {}).items()):
+            new_metric = new.get("metrics", {}).get(metric_name)
+            if new_metric is None:
+                finding = Finding(
+                    bench=bench, kind="coverage", name=metric_name,
+                    baseline=float(old_metric["value"]), current=None,
+                    delta_rel=None,
+                    message=(f"{bench}:{metric_name} missing from "
+                             f"current result"),
+                )
+                (report.regressions if strict else report.notes).append(finding)
+                continue
+            _compare_metric(bench, metric_name, old_metric, new_metric, report)
+        _compare_latency(bench, old, new, latency_tolerance,
+                         latency_min_abs_s, report)
+    for bench in sorted(set(current) - set(baseline)):
+        report.notes.append(Finding(
+            bench=bench, kind="coverage", name="bench",
+            baseline=None, current=None, delta_rel=None,
+            message=f"{bench}: new bench, absent from baseline",
+        ))
+    return report
+
+
+def format_report(report: CompareReport) -> str:
+    """Human summary of a comparison, one section per severity."""
+    lines = []
+    sections = (
+        ("REGRESSIONS", report.regressions),
+        ("improvements", report.improvements),
+        ("notes", report.notes),
+    )
+    for label, findings in sections:
+        if not findings:
+            continue
+        lines.append(f"{label} ({len(findings)}):")
+        lines.extend(f"  - {finding.message}" for finding in findings)
+    if not lines:
+        lines.append("no differences beyond tolerances")
+    counts = [["regressions", len(report.regressions)],
+              ["improvements", len(report.improvements)],
+              ["notes", len(report.notes)]]
+    lines.append("")
+    lines.append(format_table(["severity", "count"], counts,
+                              title="bench_compare summary"))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CompareReport",
+    "DEFAULT_LATENCY_MIN_ABS_S",
+    "DEFAULT_LATENCY_TOLERANCE",
+    "Finding",
+    "compare_results",
+    "format_report",
+    "load_results",
+]

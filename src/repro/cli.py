@@ -208,6 +208,65 @@ def _cmd_opcount(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_seconds
+    from repro.bench import (
+        compare_results,
+        discover,
+        format_report,
+        load_results,
+        run_benches,
+    )
+
+    if args.compare:
+        baseline, current = args.compare
+        report = compare_results(
+            load_results(baseline), load_results(current),
+            latency_tolerance=args.latency_tol,
+            latency_min_abs_s=args.latency_min_abs,
+            strict=args.strict,
+        )
+        print(format_report(report))
+        return report.exit_code()
+
+    registry = discover(args.benchmarks_dir)
+    if args.list:
+        rows = [
+            [entry.name, ", ".join(entry.tags), entry.module]
+            for name in registry.names()
+            for entry in [registry.get(name)]
+        ]
+        print(format_table(
+            ["bench", "tags", "module"], rows,
+            title=f"Registered benches ({len(registry)})",
+        ))
+        return 0
+
+    if not args.run:
+        print("nothing to do: pass --list, --run, or --compare",
+              file=sys.stderr)
+        return 2
+
+    results = run_benches(
+        args.run, out_dir=args.out, registry=registry,
+        progress=print if args.verbose else None,
+    )
+    rows = [
+        [name, len(result.metrics), len(result.series),
+         format_seconds(result.timing["wall_s"])]
+        for name, result in sorted(results.items())
+    ]
+    print(format_table(
+        ["bench", "metrics", "series", "wall"], rows,
+        title=f"Ran {len(results)} benches -> {args.out}",
+    ))
+    if args.show:
+        for name, result in sorted(results.items()):
+            print(f"\n=== {name} ===")
+            print(result.render())
+    return 0
+
+
 def _cmd_conmerge(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -287,6 +346,33 @@ def build_parser() -> argparse.ArgumentParser:
     cm.add_argument("--model", default="stable_diffusion")
     cm.add_argument("--seed", type=int, default=0)
     cm.set_defaults(func=_cmd_conmerge)
+
+    bench = sub.add_parser(
+        "bench", help="structured benchmark harness (run / list / compare)"
+    )
+    bench.add_argument("--list", action="store_true",
+                       help="list registered benches and exit")
+    bench.add_argument("--run", metavar="SELECTOR", default=None,
+                       help="comma-separated: 'all', bench names, tag:<tag>")
+    bench.add_argument("--out", default="bench_results",
+                       help="directory for BENCH_<name>.json results")
+    bench.add_argument("--compare", nargs=2,
+                       metavar=("BASELINE", "CURRENT"), default=None,
+                       help="diff two result sets (file or directory each)")
+    bench.add_argument("--latency-tol", type=float, default=0.10,
+                       help="relative wall-clock regression tolerance")
+    bench.add_argument("--latency-min-abs", type=float, default=0.25,
+                       help="absolute wall-clock slack (seconds) that must "
+                            "also be exceeded before latency drift counts")
+    bench.add_argument("--strict", action="store_true",
+                       help="treat missing benches/metrics as regressions")
+    bench.add_argument("--benchmarks-dir", default=None,
+                       help="override the benchmarks/ directory to discover")
+    bench.add_argument("--show", action="store_true",
+                       help="print each bench's rendered tables after running")
+    bench.add_argument("--verbose", action="store_true",
+                       help="print per-bench progress while running")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -10,7 +10,6 @@ may relocate elements and stack up to three origin columns per slot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

@@ -13,7 +13,7 @@ in nanoseconds, per-bank row buffers, interleaved banks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -107,7 +107,7 @@ def iteration_workloads(spec: ModelSpec) -> list:
         replace(load, count=load.count * spec.paper_depth)
         for load in block_loads
     ]
-    transformer_macs = sum(l.macs for l in loads)
+    transformer_macs = sum(load.macs for load in loads)
     share = spec.paper_transformer_share
     if share < 1.0:
         etc_macs = transformer_macs * (1.0 - share) / share

@@ -10,7 +10,6 @@ masks and running real ConMerge passes over sampled tiles
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -12,7 +12,7 @@ and against the masked reference (merged), which the test suite asserts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

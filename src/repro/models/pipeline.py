@@ -10,7 +10,7 @@ import numpy as np
 from repro.models.conditioning import ConditioningEncoder
 from repro.models.network import DiffusionNetwork
 from repro.models.scheduler import _BaseScheduler
-from repro.models.transformer import BlockTrace, Executors
+from repro.models.transformer import Executors
 
 
 @dataclass

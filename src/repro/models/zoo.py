@@ -17,7 +17,7 @@ from repro.models.conditioning import ConditioningEncoder, make_conditioning
 from repro.models.network import DiffusionNetwork, NetworkType
 from repro.models.pipeline import DiffusionPipeline
 from repro.models.scheduler import DDIMScheduler
-from repro.workloads.specs import BENCHMARK_ORDER, MODEL_SPECS, ModelSpec, get_spec
+from repro.workloads.specs import BENCHMARK_ORDER, ModelSpec, get_spec
 
 BENCHMARK_MODELS = BENCHMARK_ORDER
 

@@ -1,6 +1,5 @@
 """Unit tests for the GPU roofline baseline."""
 
-import pytest
 
 from repro.baselines.gpu import GPUModel
 from repro.baselines.specs import A100, EDGE_GPU, SERVER_GPU

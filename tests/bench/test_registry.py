@@ -1,0 +1,79 @@
+"""Registry registration, lookup, selection, and discovery tests."""
+
+import pytest
+
+from repro.bench import BenchContext, BenchmarkRegistry, BenchResult
+from repro.bench.runner import discover, find_benchmarks_dir
+
+
+def make_registry():
+    registry = BenchmarkRegistry()
+
+    def build_a(ctx):
+        return BenchResult("a")
+
+    def build_b(ctx):
+        return BenchResult("b")
+
+    registry.register("a", build_a, tags=("fast", "core"))
+    registry.register("b", build_b, tags=("slow",))
+    return registry
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = make_registry()
+        assert registry.names() == ["a", "b"]
+        assert registry.get("a").tags == ("fast", "core")
+        assert "a" in registry
+        assert len(registry) == 2
+
+    def test_duplicate_rejected_unless_replace(self):
+        registry = make_registry()
+        with pytest.raises(ValueError):
+            registry.register("a", lambda ctx: BenchResult("a"))
+        registry.register("a", lambda ctx: BenchResult("a"), replace=True)
+        assert len(registry) == 2
+
+    def test_unknown_name(self):
+        registry = make_registry()
+        with pytest.raises(KeyError):
+            registry.get("nope")
+        with pytest.raises(KeyError):
+            registry.select("nope")
+
+    def test_select_all(self):
+        registry = make_registry()
+        assert [e.name for e in registry.select("all")] == ["a", "b"]
+
+    def test_select_by_tag(self):
+        registry = make_registry()
+        assert [e.name for e in registry.select("tag:fast")] == ["a"]
+        with pytest.raises(KeyError):
+            registry.select("tag:imaginary")
+
+    def test_select_union(self):
+        registry = make_registry()
+        assert [e.name for e in registry.select("b,tag:fast")] == ["a", "b"]
+
+
+class TestDiscovery:
+    def test_discover_populates_global_registry(self):
+        registry = discover()
+        # Every paper figure/table panel registers exactly one bench.
+        assert len(registry) >= 20
+        for name in ("fig06_ffn_reuse", "table1_accuracy",
+                     "serve_throughput", "ablation_n_sweep"):
+            assert name in registry
+        # Discovery is idempotent (modules may already be imported).
+        assert len(discover()) == len(registry)
+
+    def test_find_benchmarks_dir(self):
+        assert (find_benchmarks_dir() / "conftest.py").is_file()
+
+    def test_registered_builder_runs(self):
+        registry = discover()
+        entry = registry.get("table2_specs")
+        result = entry.builder(BenchContext())
+        assert isinstance(result, BenchResult)
+        assert result.value("exion4.peak_tops") == pytest.approx(39.2)

@@ -7,7 +7,6 @@ whose preferred CV slot is occupied must find another candidate row).
 """
 
 import numpy as np
-import pytest
 
 from repro.core.bitmask import Bitmask
 from repro.core.conmerge.blocks import partition_into_blocks

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.hw.energy import (
-    DSC_AREA_MM2,
     DSC_POWER_MW,
     EnergyModel,
     TOTAL_DSC_AREA_MM2,

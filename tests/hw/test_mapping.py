@@ -33,25 +33,25 @@ class TestMMULWorkload:
 class TestBlockWorkloads:
     def test_self_attention_only(self):
         loads = transformer_block_workloads(get_spec("dit"))
-        names = [l.name for l in loads]
+        names = [load.name for load in loads]
         assert "q_proj" in names
         assert "ffn_linear1" in names
         assert not any(n.startswith("xattn") for n in names)
 
     def test_cross_attention_added(self):
         loads = transformer_block_workloads(get_spec("stable_diffusion"))
-        names = [l.name for l in loads]
+        names = [load.name for load in loads]
         assert "xattn_k_proj" in names
         assert "xattn_score" in names
 
     def test_geglu_doubles_ffn1_columns(self):
         sd = get_spec("stable_diffusion")
-        loads = {l.name: l for l in transformer_block_workloads(sd)}
+        loads = {load.name: load for load in transformer_block_workloads(sd)}
         assert loads["ffn_linear1"].c == 2 * 4 * sd.paper_dim
 
     def test_attention_score_per_head(self):
         dit = get_spec("dit")
-        loads = {l.name: l for l in transformer_block_workloads(dit)}
+        loads = {load.name: load for load in transformer_block_workloads(dit)}
         assert loads["attn_score"].count == dit.paper_heads
         assert loads["attn_score"].k == dit.paper_dim // dit.paper_heads
 
@@ -59,7 +59,7 @@ class TestBlockWorkloads:
 class TestIterationWorkloads:
     def test_depth_multiplies_counts(self):
         dit = get_spec("dit")
-        loads = {l.name: l for l in iteration_workloads(dit)}
+        loads = {load.name: load for load in iteration_workloads(dit)}
         assert loads["q_proj"].count == dit.paper_depth
 
     def test_etc_workload_matches_share(self):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.hw.dram import GDDR6, LPDDR5
-from repro.hw.noc import NoCConfig, NoCModel, exion_noc
+from repro.hw.noc import NoCConfig, exion_noc
 
 
 class TestNoCConfig:

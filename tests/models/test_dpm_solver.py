@@ -1,7 +1,6 @@
 """Unit tests for the DPM-Solver++(2M) fast sampler."""
 
 import numpy as np
-import pytest
 
 from repro.models.scheduler import DDIMScheduler, DPMSolverPP2MScheduler
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.models.pipeline import DiffusionPipeline
-from repro.models.scheduler import DDIMScheduler
 from repro.models.transformer import Executors
 
 

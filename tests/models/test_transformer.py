@@ -1,7 +1,6 @@
 """Unit tests for the transformer block."""
 
 import numpy as np
-import pytest
 
 from repro.models.transformer import BlockTrace, Executors, TransformerBlock
 

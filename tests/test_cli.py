@@ -27,6 +27,14 @@ class TestParser:
         assert args.max_wait == 0.0
         assert not args.calibrate
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench", "--list"])
+        assert args.list
+        assert args.run is None
+        assert args.out == "bench_results"
+        assert args.latency_tol == 0.10
+        assert not args.strict
+
 
 class TestCommands:
     def test_models(self, capsys):
@@ -113,3 +121,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "condensing" in out
         assert "merging" in out
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06_ffn_reuse" in out
+        assert "serve_throughput" in out
+
+    def test_bench_requires_an_action(self, capsys):
+        assert main(["bench"]) == 2
+
+    def test_bench_run_writes_schema_valid_json(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.schema import validate_aggregate, validate_result
+
+        assert main(["bench", "--run", "table2_specs",
+                     "--out", str(tmp_path), "--show"]) == 0
+        out = capsys.readouterr().out
+        assert "Ran 1 benches" in out
+        assert "Table II" in out  # --show renders the table
+        result = json.loads((tmp_path / "BENCH_table2_specs.json").read_text())
+        validate_result(result)
+        assert result["metrics"]["exion4.peak_tops"]["value"] == 39.2
+        aggregate = json.loads((tmp_path / "BENCH_repro.json").read_text())
+        validate_aggregate(aggregate)
+
+    def test_bench_compare_identical_and_regressed(self, capsys, tmp_path):
+        import json
+
+        assert main(["bench", "--run", "table2_specs",
+                     "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        baseline = tmp_path / "BENCH_repro.json"
+        assert main(["bench", "--compare", str(baseline),
+                     str(baseline)]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+        data = json.loads(baseline.read_text())
+        bench = data["results"]["table2_specs"]
+        bench["timing"]["wall_s"] = bench["timing"]["wall_s"] * 1.2 + 1.0
+        slower = tmp_path / "BENCH_slower.json"
+        slower.write_text(json.dumps(data))
+        assert main(["bench", "--compare", str(baseline),
+                     str(slower)]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out

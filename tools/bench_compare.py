@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Perf-regression gate: diff two bench result sets.
+
+Compares a *current* bench result set against a *baseline* (each a
+``BENCH_repro.json`` aggregate, a single ``BENCH_<name>.json``, or a
+directory of them) and exits non-zero when any metric or wall-clock
+timing regressed beyond tolerance. Metric direction and tolerance come
+from the baseline's per-metric contract; latency shares one global
+relative tolerance (default 10%).
+
+Run from the repository root::
+
+    python tools/bench_compare.py benchmarks/baseline/BENCH_repro.json \
+        bench_results/BENCH_repro.json
+
+CI wires this in as a non-blocking step after ``make bench``; locally it
+is ``make bench-compare``. An identical re-run always exits zero; an
+injected 20% latency regression always exits one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.compare import (  # noqa: E402
+    DEFAULT_LATENCY_MIN_ABS_S,
+    DEFAULT_LATENCY_TOLERANCE,
+    compare_results,
+    format_report,
+    load_results,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two bench result sets and flag regressions"
+    )
+    parser.add_argument("baseline", help="baseline results (file or dir)")
+    parser.add_argument("current", help="current results (file or dir)")
+    parser.add_argument("--latency-tol", type=float,
+                        default=DEFAULT_LATENCY_TOLERANCE,
+                        help="relative wall-clock tolerance (default 0.10)")
+    parser.add_argument("--latency-min-abs", type=float,
+                        default=DEFAULT_LATENCY_MIN_ABS_S,
+                        help="absolute wall-clock slack in seconds that "
+                             "must also be exceeded (default 0.25)")
+    parser.add_argument("--strict", action="store_true",
+                        help="missing benches/metrics count as regressions")
+    args = parser.parse_args(argv)
+
+    report = compare_results(
+        load_results(args.baseline),
+        load_results(args.current),
+        latency_tolerance=args.latency_tol,
+        latency_min_abs_s=args.latency_min_abs,
+        strict=args.strict,
+    )
+    print(format_report(report))
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
