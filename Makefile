@@ -5,15 +5,20 @@
 #   make bench          full structured bench run -> bench_results/
 #   make bench-smoke    fast subset (tag:smoke) of the structured benches
 #   make bench-compare  diff bench_results/ against the committed baseline
+#   make cluster-smoke  fleet-simulation scaling bench + CLI demo run
 #   make docs-check     docstring + __all__ export lint
-#   make check          test + docs-check + bench-smoke
+#   make check          test + docs-check + bench-smoke + cluster-smoke
 
 PYTHON ?= python
 PYTHONPATH := src
 BENCH_OUT ?= bench_results
 BASELINE ?= benchmarks/baseline/BENCH_repro.json
+# Wall-clock slack of the perf gate (per-metric tolerances live on the
+# metrics themselves and are not affected by these knobs).
+LATENCY_TOL ?= 0.10
+LATENCY_MIN_ABS ?= 0.25
 
-.PHONY: test lint bench bench-smoke bench-compare docs-check check
+.PHONY: test lint bench bench-smoke bench-compare cluster-smoke docs-check check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -31,9 +36,18 @@ bench-smoke:
 
 bench-compare:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_compare.py \
+		--latency-tol $(LATENCY_TOL) \
+		--latency-min-abs $(LATENCY_MIN_ABS) \
 		$(BASELINE) $(BENCH_OUT)/BENCH_repro.json
+
+cluster-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench \
+		--run cluster_scaling --out $(BENCH_OUT)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro cluster \
+		--replicas 4 --requests 48 --rate 300 --router jsq \
+		--slo-target 1.0
 
 docs-check:
 	$(PYTHON) tools/docs_check.py
 
-check: test docs-check bench-smoke
+check: test docs-check bench-smoke cluster-smoke

@@ -1,0 +1,162 @@
+"""Fleet scaling: replica count x routing policy under open-loop load.
+
+The cluster claim of ``repro.cluster``: sharding saturating Poisson
+traffic across N simulated EXION24 replicas multiplies aggregate
+throughput (measured in *simulated* seconds, from the hw latency model)
+close to linearly, and the whole run is a pure function of the seed:
+
+- **scaling** — with join-shortest-queue routing, 4 replicas reach at
+  least 3x the aggregate samples/sec of 1 replica on the same trace;
+- **determinism** — two same-seed runs of the same scenario produce
+  byte-identical :class:`~repro.cluster.report.ClusterReport` JSON.
+
+Every metric is simulated-time accounting — no wall clock — so the
+determinism metric is exact (tolerance 0.0). The rate/latency metrics
+carry a 10% tolerance instead: their absolute values flow from seeded
+``numpy.random.Generator`` draws (arrival gaps, sparsity profiles), and
+NumPy's stream-compatibility policy allows drift across feature
+releases; the tolerance absorbs that without letting real behavior
+changes through.
+
+Run with::
+
+    pytest benchmarks/bench_cluster_scaling.py --import-mode=importlib -s
+"""
+
+from repro.bench import BenchResult, register_bench
+from repro.cluster import (
+    PoissonProcess,
+    ServiceTimeModel,
+    SLOPolicy,
+    build_replicas,
+    make_router,
+    simulate_cluster,
+    synthesize_trace,
+)
+from repro.serve import BatchingPolicy
+
+from .conftest import emit_result
+
+REQUESTS = 192
+RATE_RPS = 400.0  # saturates even the 4-replica fleet
+SEED = 0
+REPLICA_COUNTS = (1, 2, 4)
+ROUTER_NAMES = ("round_robin", "jsq", "cache_affinity")
+POLICY = BatchingPolicy(max_batch_size=8, max_wait_s=0.0)
+
+
+def _run_cell(trace, service_model, replicas, router_name, slo=None):
+    fleet = build_replicas(
+        replicas, policy=POLICY, service_model=service_model
+    )
+    return simulate_cluster(
+        trace,
+        replicas=fleet,
+        router=make_router(router_name),
+        slo=slo,
+        scenario={"seed": SEED},
+    )
+
+
+@register_bench("cluster_scaling", tags=("cluster", "serve", "smoke"))
+def build_cluster_scaling(ctx):
+    service_model = ServiceTimeModel("exion24")
+    trace = synthesize_trace(PoissonProcess(RATE_RPS), REQUESTS, rng=SEED)
+
+    reports = {}
+    rows = []
+    for router_name in ROUTER_NAMES:
+        for replicas in REPLICA_COUNTS:
+            report = _run_cell(trace, service_model, replicas, router_name)
+            reports[(router_name, replicas)] = report
+            lat = report.latency
+            rows.append([
+                router_name,
+                replicas,
+                f"{report.samples_per_s:.2f}",
+                f"{lat['latency_p50_s'] * 1e3:.1f}",
+                f"{lat['latency_p99_s'] * 1e3:.1f}",
+                f"{report.mean_utilization * 100:.1f}%",
+            ])
+
+    # Determinism: an independent same-seed rerun of the headline cell.
+    rerun = _run_cell(
+        synthesize_trace(PoissonProcess(RATE_RPS), REQUESTS, rng=SEED),
+        ServiceTimeModel("exion24"),
+        4,
+        "jsq",
+    )
+    deterministic = rerun.to_json() == reports[("jsq", 4)].to_json()
+
+    # SLO accounting under overload: admission control plus timeouts on
+    # a deliberately under-provisioned fleet.
+    slo = SLOPolicy(latency_target_s=1.0, timeout_s=2.0, max_queue_depth=24)
+    slo_report = _run_cell(trace, service_model, 2, "jsq", slo=slo)
+
+    scaling = {
+        n: reports[("jsq", n)].samples_per_s
+        / reports[("jsq", 1)].samples_per_s
+        for n in REPLICA_COUNTS
+    }
+
+    result = BenchResult("cluster_scaling", model="dit")
+    result.add_series(
+        f"Fleet scaling ({REQUESTS} Poisson arrivals @ {RATE_RPS:.0f} rps, "
+        "EXION24 replicas)",
+        ["router", "replicas", "samples/s (sim)", "p50 ms", "p99 ms",
+         "mean util"],
+        rows,
+    )
+    result.add_series(
+        "SLO cell (2 replicas, target 1s, timeout 2s, depth 24)",
+        ["served", "admission drops", "timeout drops", "attainment"],
+        [[slo_report.served, slo_report.admission_drops,
+          slo_report.timeout_drops,
+          f"{(slo_report.slo_attainment or 0.0) * 100:.1f}%"]],
+    )
+    for n in REPLICA_COUNTS:
+        result.add_metric(
+            f"samples_per_s_jsq_{n}r",
+            reports[("jsq", n)].samples_per_s,
+            unit="samples/s", direction="higher_better", tolerance=0.10,
+        )
+    result.add_metric("scaling_jsq_4r", scaling[4], unit="x",
+                      direction="higher_better", tolerance=0.10)
+    result.add_metric(
+        "latency_p99_jsq_4r_s",
+        reports[("jsq", 4)].latency["latency_p99_s"],
+        unit="s", direction="lower_better", tolerance=0.10,
+    )
+    result.add_metric("deterministic_report",
+                      1.0 if deterministic else 0.0,
+                      direction="higher_better", tolerance=0.0)
+    # Attainment under deep overload is quantized in whole requests (a
+    # one-request shift is a ~50% relative change), so it lives in the
+    # SLO series above for eyeballs only; the gate watches the much
+    # smoother drop rate instead.
+    result.add_metric(
+        "slo_drop_rate_overload", slo_report.drop_rate,
+        direction="lower_better", tolerance=0.10,
+    )
+    result.add_note(
+        "All numbers are simulated time from the EXION24 latency model; "
+        "same-seed runs on one NumPy version are byte-identical "
+        "(deterministic_report gates this exactly), while rate/latency "
+        "metrics tolerate 10% for cross-version RNG stream drift."
+    )
+    return result
+
+
+def test_cluster_scaling(bench_ctx):
+    result = build_cluster_scaling(bench_ctx)
+    emit_result(result)
+
+    # The acceptance bar of the fleet layer: >= 3x aggregate throughput
+    # at 4 replicas under Poisson + join-shortest-queue.
+    scaling = result.value("scaling_jsq_4r")
+    assert scaling >= 3.0, (
+        f"4-replica JSQ fleet reached only {scaling:.2f}x one replica"
+    )
+    assert result.value("deterministic_report") == 1.0
+    # Overload cell actually exercises both drop paths.
+    assert result.value("slo_drop_rate_overload") > 0.0

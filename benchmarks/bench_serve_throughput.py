@@ -114,14 +114,19 @@ def build_serve_throughput(ctx):
                       direction="higher_better", tolerance=0.0)
     result.add_metric("equivalence_batch", 1.0 if batch_ok else 0.0,
                       direction="higher_better", tolerance=0.0)
+    # The absolute rates come from time.perf_counter() and vary with the
+    # machine class and its load, so their compare tolerances are wide —
+    # the pytest wrapper's >= 2x speedup assertion (same-machine, same
+    # run) is the real quality gate. The speedup ratio cancels most
+    # machine dependence and gets a tighter band.
     result.add_metric("sequential_samples_per_s", sequential_rate,
                       unit="samples/s", direction="higher_better",
-                      tolerance=0.25)
+                      tolerance=0.75)
     result.add_metric("batched_samples_per_s", batched_rate,
                       unit="samples/s", direction="higher_better",
-                      tolerance=0.25)
+                      tolerance=0.75)
     result.add_metric("speedup_batch8", speedup, unit="x",
-                      direction="higher_better", tolerance=0.20)
+                      direction="higher_better", tolerance=0.35)
     return result
 
 

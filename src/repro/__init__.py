@@ -14,7 +14,10 @@ inference. This package reimplements, in pure Python/numpy:
   ``repro.analysis``),
 - a batched multi-request serving layer that coalesces concurrent
   generation requests into vectorized micro-batches with cross-request
-  model/threshold caching (``repro.serve``).
+  model/threshold caching (``repro.serve``),
+- a trace-driven multi-accelerator fleet simulator layering open-loop
+  traffic, routing policies and SLO accounting over the serving and
+  hardware layers (``repro.cluster``).
 
 Quickstart::
 
@@ -32,6 +35,17 @@ Serving quickstart::
     server = ExionServer("dit", policy=BatchingPolicy(max_batch_size=8))
     ids = [server.submit(seed=s, class_label=207) for s in range(8)]
     results = server.run_until_drained()
+
+Fleet quickstart (see ``repro.cluster`` for the full tour)::
+
+    from repro.cluster import (
+        PoissonProcess, build_replicas, make_router, simulate_cluster,
+        synthesize_trace,
+    )
+
+    trace = synthesize_trace(PoissonProcess(rate_rps=200.0), 64, rng=0)
+    report = simulate_cluster(trace, replicas=build_replicas(4),
+                              router=make_router("jsq"))
 """
 
 from repro.core.config import ExionConfig
@@ -50,4 +64,4 @@ __all__ = [
     "build_model",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

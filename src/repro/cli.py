@@ -5,6 +5,7 @@ Usage::
     python -m repro models                         # list benchmark models
     python -m repro generate --model dit --seed 1  # run EXION inference
     python -m repro serve --model dit --requests 16 --batch-size 8
+    python -m repro cluster --replicas 4 --router jsq --rate 200
     python -m repro simulate --model dit           # HW sim vs GPU baselines
     python -m repro opcount                        # Fig. 4 breakdown
     python -m repro conmerge --model stable_diffusion
@@ -88,8 +89,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config=config,
         policy=BatchingPolicy(max_batch_size=args.batch_size,
                               max_wait_s=args.max_wait),
+        model_seed=args.model_seed,
         total_iterations=args.iterations,
         calibrate=args.calibrate,
+        calibration_seed=args.calibration_seed,
     )
     for i in range(args.requests):
         server.submit(
@@ -132,12 +135,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # Reuse the server's cached model and (with --calibrate) threshold
         # table so the comparison isolates batching: both paths run the
         # same computation, only the loop structure differs.
-        model = server.cache.model(args.model,
+        model = server.cache.model(args.model, seed=args.model_seed,
                                    total_iterations=args.iterations)
         table = None
         if args.calibrate and config.enable_ffn_reuse:
-            table = server.cache.table(args.model, config,
-                                       total_iterations=args.iterations)
+            table = server.cache.table(
+                args.model, config, model_seed=args.model_seed,
+                total_iterations=args.iterations,
+                calibration_seed=args.calibration_seed,
+            )
         pipeline = ExionPipeline(model, config, threshold_table=table)
         start = time.perf_counter()
         for i in range(args.requests):
@@ -147,6 +153,80 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seq_rate = args.requests / sequential_s
         print(f"sequential  {seq_rate:.2f} samples/s")
         print(f"speedup     {report.samples_per_s / seq_rate:.2f}x")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import (
+        DiurnalProcess,
+        MMPPProcess,
+        PoissonProcess,
+        SLOPolicy,
+        WorkloadMix,
+        build_replicas,
+        load_trace,
+        make_router,
+        save_trace,
+        simulate_cluster,
+        synthesize_trace,
+    )
+    from repro.serve import BatchingPolicy
+
+    if args.trace is not None:
+        requests = load_trace(args.trace)
+        arrival_doc = {"process": "trace_file", "path": str(args.trace)}
+    else:
+        if args.arrival == "poisson":
+            process = PoissonProcess(rate_rps=args.rate)
+        elif args.arrival == "mmpp":
+            process = MMPPProcess(
+                rate_low_rps=args.rate / 4.0,
+                rate_high_rps=args.rate,
+                mean_dwell_s=args.dwell,
+            )
+        else:  # diurnal
+            process = DiurnalProcess(
+                base_rate_rps=args.rate / 4.0,
+                peak_rate_rps=args.rate,
+                period_s=args.period,
+            )
+        mix = WorkloadMix(
+            models=tuple(args.models.split(",")), ablation=args.ablation
+        )
+        requests = synthesize_trace(process, args.requests, mix=mix,
+                                    rng=args.seed)
+        arrival_doc = process.describe()
+    if args.save_trace is not None:
+        save_trace(args.save_trace, requests)
+
+    slo = SLOPolicy(
+        latency_target_s=args.slo_target,
+        timeout_s=args.timeout,
+        max_queue_depth=args.max_queue_depth,
+    )
+    replicas = build_replicas(
+        args.replicas,
+        accelerator=args.accelerator,
+        policy=BatchingPolicy(max_batch_size=args.batch_size,
+                              max_wait_s=args.max_wait),
+        execute=args.execute,
+        execute_iterations=args.iterations,
+        # Price the same (possibly truncated) schedule that is executed,
+        # so reported service times match the claimed samples.
+        iterations=args.iterations,
+    )
+    report = simulate_cluster(
+        requests,
+        replicas=replicas,
+        router=make_router(args.router),
+        slo=slo,
+        scenario={"arrival": arrival_doc, "seed": args.seed},
+    )
+    print(report.render())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -321,6 +401,10 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-wait", type=float, default=0.0)
     srv.add_argument("--seed", type=int, default=0,
                      help="first request seed; request i uses seed + i")
+    srv.add_argument("--model-seed", type=int, default=0,
+                     help="weight-initialization seed of the served model")
+    srv.add_argument("--calibration-seed", type=int, default=0,
+                     help="seed of the offline threshold calibration run")
     srv.add_argument("--iterations", type=int, default=None)
     srv.add_argument("--prompt", default=None)
     srv.add_argument("--class-label", type=int, default=None)
@@ -330,6 +414,53 @@ def build_parser() -> argparse.ArgumentParser:
                      help="use an offline-calibrated threshold table")
     srv.add_argument("--compare-sequential", action="store_true")
     srv.set_defaults(func=_cmd_serve)
+
+    clu = sub.add_parser(
+        "cluster", help="trace-driven multi-accelerator fleet simulation"
+    )
+    clu.add_argument("--models", default="dit",
+                     help="comma-separated benchmark models in the mix")
+    clu.add_argument("--ablation", default="all",
+                     choices=["base", "ep", "ffnr", "all"])
+    clu.add_argument("--replicas", type=int, default=4)
+    clu.add_argument("--accelerator", default="exion24",
+                     choices=["exion4", "exion24", "exion42"])
+    clu.add_argument("--router", default="jsq",
+                     choices=["round_robin", "jsq", "cache_affinity"])
+    clu.add_argument("--arrival", default="poisson",
+                     choices=["poisson", "mmpp", "diurnal"])
+    clu.add_argument("--rate", type=float, default=100.0,
+                     help="arrival rate in requests/s (peak rate for "
+                          "mmpp/diurnal; their trough is rate/4)")
+    clu.add_argument("--dwell", type=float, default=1.0,
+                     help="mean MMPP state dwell time in seconds")
+    clu.add_argument("--period", type=float, default=60.0,
+                     help="diurnal ramp period in seconds")
+    clu.add_argument("--requests", type=int, default=64)
+    clu.add_argument("--seed", type=int, default=0,
+                     help="trace seed; same seed -> byte-identical report")
+    clu.add_argument("--batch-size", type=int, default=8)
+    clu.add_argument("--max-wait", type=float, default=0.0,
+                     help="micro-batch max-wait in simulated seconds")
+    clu.add_argument("--slo-target", type=float, default=None,
+                     help="latency SLO target in seconds (attainment)")
+    clu.add_argument("--timeout", type=float, default=None,
+                     help="drop queued requests older than this")
+    clu.add_argument("--max-queue-depth", type=int, default=None,
+                     help="per-replica admission-control bound")
+    clu.add_argument("--trace", default=None,
+                     help="replay a JSONL trace file instead of synthesizing")
+    clu.add_argument("--save-trace", default=None,
+                     help="write the synthesized trace to a JSONL file")
+    clu.add_argument("--execute", action="store_true",
+                     help="actually run the numeric generation per batch "
+                          "(slow; default is accounting-only)")
+    clu.add_argument("--iterations", type=int, default=None,
+                     help="truncate the denoising schedule: priced by the "
+                          "hw model and, with --execute, actually run")
+    clu.add_argument("--json", default=None,
+                     help="write the canonical ClusterReport JSON here")
+    clu.set_defaults(func=_cmd_cluster)
 
     sim = sub.add_parser("simulate", help="hardware simulation vs GPU")
     sim.add_argument("--model", default="dit")

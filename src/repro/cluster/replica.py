@@ -1,0 +1,427 @@
+"""One fleet member: an accelerator-backed serving replica in sim time.
+
+A :class:`Replica` wraps real serving machinery — per-(model, ablation)
+:class:`~repro.serve.server.ExionServer` instances sharing one
+:class:`~repro.serve.cache.ThresholdCache` — behind a :class:`SimClock`
+the event loop advances, so batching decisions (coalescing, max-wait
+dispatch) are exactly what the serving layer would do, while **service
+times come from the hardware simulator**, not from wall clock:
+:class:`ServiceTimeModel` prices each micro-batch through
+:meth:`repro.hw.accelerator.ExionAccelerator.simulate` for the replica's
+Table II configuration (exion4 / exion24 / exion42).
+
+The first batch of a ``(model, ablation)`` on a replica pays a
+*cold-start* penalty — one vanilla batch-1 generation, mirroring how the
+serving layer's offline threshold calibration costs a full vanilla run —
+which is what makes cache-affinity routing worth having.
+
+By default replicas run ``dry_run`` servers (accounting only); pass
+``execute=True`` to actually run the numeric generation pipeline per
+batch (slow, but results then carry real samples and sparsity stats).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.config import ExionConfig
+from repro.hw.accelerator import ExionAccelerator
+from repro.serve.cache import ThresholdCache
+from repro.serve.scheduler import BatchingPolicy
+from repro.serve.server import ExionServer
+from repro.workloads.specs import get_spec
+
+#: Table II deployment points by CLI/scenario name.
+ACCELERATORS = {
+    "exion4": ExionAccelerator.exion4,
+    "exion24": ExionAccelerator.exion24,
+    "exion42": ExionAccelerator.exion42,
+}
+
+class SimClock:
+    """A clock the event loop sets by hand; servers read it as ``clock()``."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_accelerator(
+    accelerator: Union[str, ExionAccelerator],
+) -> ExionAccelerator:
+    """Resolve a Table II configuration name into an accelerator."""
+    if isinstance(accelerator, ExionAccelerator):
+        return accelerator
+    try:
+        return ACCELERATORS[accelerator]()
+    except KeyError:
+        raise KeyError(
+            f"unknown accelerator {accelerator!r}; "
+            f"known: {', '.join(sorted(ACCELERATORS))}"
+        ) from None
+
+
+class ServiceTimeModel:
+    """Simulated batch latencies from the EXION hardware model.
+
+    Latencies are memoized per ``(model, ablation, batch_size)`` — the
+    hw walk is deterministic, so each point is priced once per process.
+    ``iterations=None`` prices full paper-scale generations
+    (``spec.total_iterations``); pass a smaller count to model truncated
+    schedules.
+    """
+
+    def __init__(
+        self,
+        accelerator: Union[str, ExionAccelerator] = "exion24",
+        iterations: Optional[int] = None,
+        profile_seed: int = 0,
+        cold_start: bool = True,
+    ) -> None:
+        self.accelerator = make_accelerator(accelerator)
+        self.iterations = iterations
+        self.profile_seed = profile_seed
+        self.cold_start = cold_start
+        self._profiles: dict = {}
+        self._latencies: dict = {}
+
+    @property
+    def name(self) -> str:
+        return self.accelerator.name
+
+    def _profile(self, model: str):
+        if model not in self._profiles:
+            from repro.hw.profile import estimate_profile
+
+            self._profiles[model] = estimate_profile(
+                get_spec(model), seed=self.profile_seed
+            )
+        return self._profiles[model]
+
+    def latency_s(self, model: str, ablation: str, batch_size: int) -> float:
+        """Simulated latency of one micro-batch generation."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        key = (model, ablation, batch_size)
+        if key not in self._latencies:
+            # The enable flags come from the same config the served
+            # pipeline uses, so priced and executed ablations can't drift.
+            config = ExionConfig.for_model(model).ablation(ablation)
+            report = self.accelerator.simulate(
+                get_spec(model),
+                self._profile(model),
+                enable_ffn_reuse=config.enable_ffn_reuse,
+                enable_eager_prediction=config.enable_eager_prediction,
+                batch=batch_size,
+                iterations=self.iterations,
+            )
+            self._latencies[key] = report.latency_s
+        return self._latencies[key]
+
+    def calibration_s(self, model: str) -> float:
+        """Cold-start cost: one vanilla (Base ablation) batch-1 generation."""
+        return self.latency_s(model, "base", 1)
+
+
+@dataclass(frozen=True)
+class DroppedRequest:
+    """A queued request abandoned at its SLO timeout.
+
+    Only timeout expiry produces records (admission control rejects at
+    the door and is tallied as a bare counter on the replica).
+    """
+
+    model: str
+    ablation: str
+    reason: str  # always "timeout" today
+    dropped_at_s: float
+    waited_s: float = 0.0
+
+
+@dataclass
+class Dispatch:
+    """One micro-batch the replica started executing."""
+
+    replica: str
+    model: str
+    ablation: str
+    served: list
+    started_s: float
+    service_s: float
+
+    @property
+    def completion_s(self) -> float:
+        return self.started_s + self.service_s
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.served)
+
+
+class Replica:
+    """One accelerator's worth of serving capacity inside the fleet."""
+
+    def __init__(
+        self,
+        index: int,
+        accelerator: Union[str, ExionAccelerator] = "exion24",
+        policy: Optional[BatchingPolicy] = None,
+        service_model: Optional[ServiceTimeModel] = None,
+        execute: bool = False,
+        execute_iterations: Optional[int] = None,
+        model_seed: int = 0,
+        calibration_seed: int = 0,
+    ) -> None:
+        self.index = index
+        self.policy = policy if policy is not None else BatchingPolicy()
+        self.service_model = (
+            service_model
+            if service_model is not None
+            else ServiceTimeModel(accelerator)
+        )
+        self.execute = execute
+        self.execute_iterations = execute_iterations
+        self.model_seed = model_seed
+        self.calibration_seed = calibration_seed
+        self.clock = SimClock()
+        self.cache = ThresholdCache()
+        self.servers: dict = {}  # (model, ablation) -> ExionServer
+        self.warm_keys: set = set()
+        self._cold_paid: set = set()
+        self.busy_until = 0.0
+        self._inflight = 0
+        self.busy_s = 0.0
+        self.requests_served = 0
+        self.batches_served = 0
+        self.cold_starts = 0
+        self.admission_drops = 0
+        self.timeout_drops = 0
+
+    @property
+    def name(self) -> str:
+        return f"replica{self.index}"
+
+    @property
+    def accelerator_name(self) -> str:
+        return self.service_model.name
+
+    # ------------------------------------------------------------------
+    # routing metrics
+    # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Requests queued and not yet dispatched (excludes in-flight)."""
+        return sum(len(server.queue) for server in self.servers.values())
+
+    def load(self, now: float) -> int:
+        """Join-shortest-queue load: queued plus in-flight requests."""
+        inflight = self._inflight if self.busy_until > now else 0
+        return self.queue_depth() + inflight
+
+    def is_warm(self, key: tuple) -> bool:
+        """Whether this replica has (or is about to have) ``key`` cached."""
+        return key in self.warm_keys
+
+    # ------------------------------------------------------------------
+    # event-loop interface
+    # ------------------------------------------------------------------
+    def _server(self, model: str, ablation: str) -> ExionServer:
+        key = (model, ablation)
+        if key not in self.servers:
+            config = ExionConfig.for_model(model).ablation(ablation)
+
+            def service_time(batch, model=model, ablation=ablation, key=key):
+                latency = self.service_model.latency_s(
+                    model, ablation, len(batch)
+                )
+                if self.service_model.cold_start and key not in self._cold_paid:
+                    self._cold_paid.add(key)
+                    self.cold_starts += 1
+                    latency += self.service_model.calibration_s(model)
+                return latency
+
+            self.servers[key] = ExionServer(
+                model,
+                config=config,
+                policy=self.policy,
+                cache=self.cache,
+                model_seed=self.model_seed,
+                total_iterations=self.execute_iterations,
+                calibration_seed=self.calibration_seed,
+                clock=self.clock,
+                service_time=service_time,
+                dry_run=not self.execute,
+                # Only execute mode has results worth fetching afterwards;
+                # dry-run sweeps keep memory flat over long traces.
+                retain_results=self.execute,
+            )
+        return self.servers[key]
+
+    def enqueue(self, request, now: float, max_queue_depth=None) -> bool:
+        """Admit (or reject) one routed request at simulated time ``now``."""
+        if (
+            max_queue_depth is not None
+            and self.queue_depth() >= max_queue_depth
+        ):
+            self.admission_drops += 1
+            return False
+        self.clock.now = now
+        server = self._server(request.model, request.ablation)
+        server.submit(
+            seed=request.seed,
+            prompt=request.prompt,
+            class_label=request.class_label,
+        )
+        self.warm_keys.add(request.pipeline_key)
+        return True
+
+    def expire(self, now: float, timeout_s: Optional[float]) -> list:
+        """Lazily drop queued requests whose wait exceeded the timeout."""
+        if timeout_s is None:
+            return []
+        dropped = []
+        for key, server in sorted(self.servers.items()):
+            model, ablation = key
+            stale = server.queue.expire(now, timeout_s)
+            dropped.extend(
+                DroppedRequest(
+                    model=model,
+                    ablation=ablation,
+                    reason="timeout",
+                    dropped_at_s=now,
+                    waited_s=now - request.submitted_at,
+                )
+                for request in stale
+            )
+            # A key whose every request expired before any batch ran never
+            # actually warmed: stop advertising affinity for it, or the
+            # router would keep steering traffic at phantom warmth.
+            if stale and len(server.queue) == 0 and key not in self._cold_paid:
+                self.warm_keys.discard(key)
+        self.timeout_drops += len(dropped)
+        return dropped
+
+    def _ready_servers(self, now: float) -> list:
+        """(head_submitted_at, key, server) for servers with a due batch."""
+        ready = []
+        for key, server in sorted(self.servers.items()):
+            if server.scheduler.ready(now):
+                head_submitted = now - server.queue.oldest_wait(now)
+                ready.append((head_submitted, key, server))
+        return ready
+
+    def _earliest_timeout(
+        self, now: float, timeout_s: Optional[float]
+    ) -> Optional[float]:
+        """When the oldest queued request crosses the SLO timeout."""
+        if timeout_s is None:
+            return None
+        deadline = None
+        for _, server in sorted(self.servers.items()):
+            if len(server.queue) == 0:
+                continue
+            head_submitted = now - server.queue.oldest_wait(now)
+            due = head_submitted + timeout_s
+            deadline = due if deadline is None else min(deadline, due)
+        if deadline is None:
+            return None
+        # Expiry is strict (wait > timeout), so a wake-up at exactly the
+        # deadline would drop nothing; one ulp later it does.
+        return math.nextafter(deadline, math.inf)
+
+    def next_event_time(
+        self, now: float, timeout_s: Optional[float] = None
+    ) -> Optional[float]:
+        """When this replica next needs attention, or ``None`` if idle.
+
+        ``timeout_s`` is the fleet's SLO timeout: queued requests must be
+        swept *at* their deadline (not at the next arrival or max-wait
+        fire), so expiry instants are wake-ups too — otherwise a doomed
+        tail request would inflate the makespan and drop accounting.
+        """
+        if self.queue_depth() == 0:
+            return None
+        deadline = self._earliest_timeout(now, timeout_s)
+        if self.busy_until > now:
+            fire = self.busy_until
+        elif self._ready_servers(now):
+            fire = now
+        else:
+            # Idle, pending but not due: the earliest max-wait expiry.
+            fire = None
+            for _, server in sorted(self.servers.items()):
+                if len(server.queue) == 0:
+                    continue
+                head_submitted = now - server.queue.oldest_wait(now)
+                due = head_submitted + server.scheduler.policy.max_wait_s
+                fire = due if fire is None else min(fire, due)
+        if fire is None:
+            return deadline
+        if deadline is None:
+            return fire
+        return min(fire, deadline)
+
+    def try_dispatch(self, now: float) -> Optional[Dispatch]:
+        """Serve one due micro-batch at ``now``; ``None`` if busy/not due."""
+        if self.busy_until > now:
+            return None
+        ready = self._ready_servers(now)
+        if not ready:
+            return None
+        # FIFO across models: serve the batch whose head waited longest.
+        _, (model, ablation), server = min(ready)
+        self.clock.now = now
+        served = server.step()
+        if not served:  # pragma: no cover - ready() guarantees a batch
+            return None
+        service_s = served[0].service_s
+        self.busy_until = now + service_s
+        self._inflight = len(served)
+        self.busy_s += service_s
+        self.requests_served += len(served)
+        self.batches_served += 1
+        return Dispatch(
+            replica=self.name,
+            model=model,
+            ablation=ablation,
+            served=served,
+            started_s=now,
+            service_s=service_s,
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def usage(self, makespan_s: float) -> dict:
+        """Per-replica accounting row for the cluster report."""
+        served = self.requests_served
+        return {
+            "name": self.name,
+            "accelerator": self.accelerator_name,
+            "requests_served": served,
+            "batches_served": self.batches_served,
+            "mean_batch_size": (
+                served / self.batches_served if self.batches_served else 0.0
+            ),
+            "busy_s": self.busy_s,
+            "utilization": (
+                self.busy_s / makespan_s if makespan_s > 0.0 else 0.0
+            ),
+            "cold_starts": self.cold_starts,
+            "admission_drops": self.admission_drops,
+            "timeout_drops": self.timeout_drops,
+        }
+
+
+__all__ = [
+    "ACCELERATORS",
+    "Dispatch",
+    "DroppedRequest",
+    "Replica",
+    "ServiceTimeModel",
+    "SimClock",
+    "make_accelerator",
+]

@@ -1,0 +1,129 @@
+"""Pluggable routing policies: which replica gets the next request.
+
+Routers are deterministic: ties break on replica index, so a fleet run
+is a pure function of its trace and seed.
+
+- :class:`RoundRobinRouter` — rotate through replicas regardless of load;
+- :class:`JoinShortestQueueRouter` — send to the replica with the fewest
+  queued-plus-in-flight requests (the classic latency-optimal heuristic
+  for homogeneous fleets);
+- :class:`CacheAffinityRouter` — steer same-``(model, ablation)``
+  requests to replicas whose :class:`~repro.serve.cache.ThresholdCache`
+  is already warm (avoiding repeat cold-start calibrations), falling
+  back to join-shortest-queue when every warm replica is overloaded
+  relative to the fleet or the key is cold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.replica import Replica
+from repro.cluster.traffic import ClusterRequest
+
+
+class Router:
+    """Base router: choose a replica for each arriving request."""
+
+    name = "router"
+
+    def choose(
+        self, request: ClusterRequest, replicas: list, now: float
+    ) -> Replica:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {"router": self.name}
+
+
+def _least_loaded(replicas: list, now: float) -> Replica:
+    """The one load/tie-break rule every load-aware policy shares."""
+    return min(replicas, key=lambda r: (r.load(now), r.index))
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas in index order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(
+        self, request: ClusterRequest, replicas: list, now: float
+    ) -> Replica:
+        replica = replicas[self._next % len(replicas)]
+        self._next += 1
+        return replica
+
+
+class JoinShortestQueueRouter(Router):
+    """Send to the least-loaded replica (queued + in-flight requests)."""
+
+    name = "jsq"
+
+    def choose(
+        self, request: ClusterRequest, replicas: list, now: float
+    ) -> Replica:
+        return _least_loaded(replicas, now)
+
+
+class CacheAffinityRouter(Router):
+    """Prefer warm replicas for a pipeline key, within a load budget.
+
+    A warm replica is used unless its load exceeds the fleet's minimum
+    load by more than ``max_imbalance`` requests — then locality is
+    traded away and the request joins the shortest queue (which warms a
+    new replica for the key, growing the key's footprint under load).
+    """
+
+    name = "cache_affinity"
+
+    def __init__(self, max_imbalance: int = 8) -> None:
+        if max_imbalance < 0:
+            raise ValueError("max_imbalance must be >= 0")
+        self.max_imbalance = max_imbalance
+
+    def choose(
+        self, request: ClusterRequest, replicas: list, now: float
+    ) -> Replica:
+        jsq_pick = _least_loaded(replicas, now)
+        warm = [r for r in replicas if r.is_warm(request.pipeline_key)]
+        if not warm:
+            return jsq_pick
+        warm_pick = _least_loaded(warm, now)
+        if warm_pick.load(now) - jsq_pick.load(now) > self.max_imbalance:
+            return jsq_pick
+        return warm_pick
+
+    def describe(self) -> dict:
+        return {"router": self.name, "max_imbalance": self.max_imbalance}
+
+
+#: CLI/scenario names for the built-in policies.
+ROUTERS = {
+    "round_robin": RoundRobinRouter,
+    "jsq": JoinShortestQueueRouter,
+    "cache_affinity": CacheAffinityRouter,
+}
+
+
+def make_router(name: str, **kwargs) -> Router:
+    """Instantiate a routing policy by its scenario name."""
+    try:
+        cls: Optional[type] = ROUTERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown router {name!r}; known: {', '.join(sorted(ROUTERS))}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "CacheAffinityRouter",
+    "JoinShortestQueueRouter",
+    "ROUTERS",
+    "RoundRobinRouter",
+    "Router",
+    "make_router",
+]

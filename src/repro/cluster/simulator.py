@@ -1,0 +1,219 @@
+"""The deterministic discrete-event loop tying traffic to the fleet.
+
+:class:`ClusterSimulator` advances simulated time through a binary heap
+of ``(time, sequence)``-ordered events: request **arrivals** (routed to
+a replica by the configured policy, subject to admission control) and
+replica **checks** (dispatch a due micro-batch, or wake again when one
+becomes due). Replicas serve one batch at a time — an accelerator runs
+one kernel schedule — and their service times come from the hardware
+latency model, so the whole run is a pure function of the trace, the
+seed, and the fleet configuration: no wall clock anywhere.
+
+Progress is guaranteed: every event either serves requests, drops
+expired ones, or schedules a strictly later wake-up (a one-nanosecond
+floor guards against floating-point fixpoints in max-wait expiry
+arithmetic).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from itertools import count
+from typing import Optional
+
+from repro.cluster.replica import Replica
+from repro.cluster.report import ClusterReport
+from repro.cluster.router import Router
+from repro.cluster.slo import LatencyAccumulator, SLOPolicy
+
+#: Minimum forward step when rescheduling a check at a non-advancing
+#: instant (floating-point guard; far below any modeled latency).
+_TIME_EPS = 1e-9
+
+_ARRIVAL = 0
+_CHECK = 1
+
+
+class ClusterSimulator:
+    """Drives one open-loop trace through a replica fleet."""
+
+    def __init__(
+        self,
+        replicas: list,
+        router: Router,
+        slo: Optional[SLOPolicy] = None,
+    ) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.replicas = list(replicas)
+        self.router = router
+        self.slo = slo if slo is not None else SLOPolicy()
+
+    # ------------------------------------------------------------------
+    def run(self, requests: list, scenario: Optional[dict] = None) -> ClusterReport:
+        """Simulate every request to completion (served or dropped)."""
+        events: list = []
+        seq = count()
+        for request in sorted(requests, key=lambda r: r.arrival_s):
+            heapq.heappush(
+                events, (request.arrival_s, next(seq), _ARRIVAL, request)
+            )
+
+        accumulator = LatencyAccumulator(self.slo)
+        dispatches = 0
+        horizon = 0.0
+
+        # The horizon (makespan) advances only on events that *happen* —
+        # arrivals, drops, batch completions. Wake-up checks can outlive
+        # the work they were guarding (a max-wait check for a batch that
+        # filled early); counting their pop times would inflate the
+        # makespan and deflate throughput/utilization.
+        while events:
+            t, _, kind, payload = heapq.heappop(events)
+            if kind == _ARRIVAL:
+                horizon = max(horizon, t)
+                # Sweep expired waiters fleet-wide first, so routing loads
+                # and admission depths count live requests only (a stale
+                # queue must produce timeout drops, not admission drops).
+                for member in self.replicas:
+                    member.expire(t, self.slo.timeout_s)
+                replica = self.router.choose(payload, self.replicas, t)
+                accepted = replica.enqueue(
+                    payload, t, max_queue_depth=self.slo.max_queue_depth
+                )
+                if accepted:
+                    self._schedule(events, seq, replica, t, bump=False)
+            else:
+                replica = payload
+                if replica.expire(t, self.slo.timeout_s):
+                    horizon = max(horizon, t)
+                outcome = replica.try_dispatch(t)
+                if outcome is not None:
+                    dispatches += 1
+                    horizon = max(horizon, outcome.completion_s)
+                    for record in outcome.served:
+                        accumulator.record(record.wait_s, record.service_s)
+                self._schedule(events, seq, replica, t, bump=True)
+
+        return self._report(requests, accumulator, horizon, scenario)
+
+    # ------------------------------------------------------------------
+    def _schedule(
+        self, events: list, seq, replica: Replica, now: float, bump: bool
+    ) -> None:
+        """Queue the replica's next wake-up, if it has pending work."""
+        when = replica.next_event_time(now, timeout_s=self.slo.timeout_s)
+        if when is None:
+            return
+        if when < now:
+            when = now
+        if bump and when <= now:
+            # A dispatch was just attempted at `now`; re-attempting at the
+            # same instant cannot make progress, so step forward minutely.
+            # nextafter guarantees an advance even at timestamps so large
+            # that `now + _TIME_EPS == now` (e.g. epoch-scale traces).
+            when = max(now + _TIME_EPS, math.nextafter(now, math.inf))
+        heapq.heappush(events, (when, next(seq), _CHECK, replica))
+
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        requests: list,
+        accumulator: LatencyAccumulator,
+        horizon: float,
+        scenario: Optional[dict],
+    ) -> ClusterReport:
+        admission_drops = sum(r.admission_drops for r in self.replicas)
+        timeout_drops = sum(r.timeout_drops for r in self.replicas)
+        dropped = admission_drops + timeout_drops
+        served = sum(r.requests_served for r in self.replicas)
+        leftover = sum(r.queue_depth() for r in self.replicas)
+        if leftover:  # pragma: no cover - progress guarantee above
+            raise RuntimeError(
+                f"event loop drained with {leftover} requests still queued"
+            )
+
+        accelerators = sorted({r.accelerator_name for r in self.replicas})
+        models = sorted({r.model for r in requests})
+        policy = self.replicas[0].policy
+        doc = {
+            "replicas": len(self.replicas),
+            "accelerator": (
+                accelerators[0] if len(accelerators) == 1 else accelerators
+            ),
+            "models": models,
+            "policy": {
+                "max_batch_size": policy.max_batch_size,
+                "max_wait_s": policy.max_wait_s,
+            },
+            "slo": self.slo.describe(),
+            **self.router.describe(),
+            **(scenario or {}),
+        }
+        return ClusterReport(
+            scenario=doc,
+            submitted=len(requests),
+            served=served,
+            admission_drops=admission_drops,
+            timeout_drops=timeout_drops,
+            makespan_s=horizon,
+            latency=accumulator.summary(),
+            slo_attainment=accumulator.attainment(dropped=dropped),
+            replicas=[r.usage(horizon) for r in self.replicas],
+            executed=any(r.execute for r in self.replicas),
+        )
+
+
+def build_replicas(
+    count_: int,
+    accelerator: str = "exion24",
+    policy=None,
+    service_model=None,
+    execute: bool = False,
+    execute_iterations: Optional[int] = None,
+    model_seed: int = 0,
+    calibration_seed: int = 0,
+    **service_kwargs,
+) -> list:
+    """A homogeneous fleet sharing one memoized service-time model.
+
+    ``model_seed``/``calibration_seed`` reach every replica's servers;
+    remaining keyword arguments configure the shared
+    :class:`~repro.cluster.replica.ServiceTimeModel` (``iterations``,
+    ``profile_seed``, ``cold_start``).
+    """
+    from repro.cluster.replica import ServiceTimeModel
+
+    if count_ < 1:
+        raise ValueError("need at least one replica")
+    if service_model is None:
+        service_model = ServiceTimeModel(accelerator, **service_kwargs)
+    return [
+        Replica(
+            index=i,
+            policy=policy,
+            service_model=service_model,
+            execute=execute,
+            execute_iterations=execute_iterations,
+            model_seed=model_seed,
+            calibration_seed=calibration_seed,
+        )
+        for i in range(count_)
+    ]
+
+
+def simulate_cluster(
+    requests: list,
+    replicas: list,
+    router: Router,
+    slo: Optional[SLOPolicy] = None,
+    scenario: Optional[dict] = None,
+) -> ClusterReport:
+    """One-call convenience wrapper around :class:`ClusterSimulator`."""
+    return ClusterSimulator(replicas, router, slo).run(
+        requests, scenario=scenario
+    )
+
+
+__all__ = ["ClusterSimulator", "build_replicas", "simulate_cluster"]

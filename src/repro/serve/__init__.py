@@ -26,6 +26,12 @@ Every request computes exactly what a sequential
 ``ExionPipeline.generate()`` call would: same samples, same per-request
 :class:`~repro.core.sparsity.RunStats`. See
 ``benchmarks/bench_serve_throughput.py`` for the throughput comparison.
+
+The server also exposes the hooks the fleet simulator
+(:mod:`repro.cluster`) drives it with: an injectable ``clock``, a
+per-batch ``service_time`` callable that substitutes simulated service
+times for wall-clock measurement, and a ``dry_run`` mode that accounts
+for queueing/batching without running the numeric generation.
 """
 
 from repro.serve.batched import BatchedPipeline

@@ -59,6 +59,23 @@ class RequestQueue:
             return 0.0
         return max(0.0, now - self._pending[0].submitted_at)
 
+    def expire(self, now: float, timeout_s: float) -> list[GenerationRequest]:
+        """Drop (and return) pending requests that waited past ``timeout_s``.
+
+        Used by the cluster event loop's SLO accounting: requests whose
+        queue wait exceeds the timeout are removed before the next batch
+        forms, so a stale request never occupies a batch slot. Submission
+        times are nondecreasing in a FIFO queue, so the expired requests
+        are a head prefix — the sweep stops at the first survivor, making
+        the no-op case (the common one) O(1).
+        """
+        if timeout_s < 0.0:
+            raise ValueError("timeout_s must be >= 0")
+        expired: list[GenerationRequest] = []
+        while self._pending and now - self._pending[0].submitted_at > timeout_s:
+            expired.append(self._pending.popleft())
+        return expired
+
     def pop(self, max_size: int) -> list[GenerationRequest]:
         """Dequeue up to ``max_size`` requests in FIFO order."""
         if max_size < 1:

@@ -34,10 +34,16 @@ class GenerationRequest:
 
 @dataclass
 class RequestResult:
-    """A served request: the generation output plus serving metadata."""
+    """A served request: the generation output plus serving metadata.
+
+    ``result`` is ``None`` when the server ran in accounting-only mode
+    (``ExionServer(dry_run=True)``, used by the cluster simulator): the
+    batching, queueing, and timing metadata are real, but no sample was
+    computed.
+    """
 
     request: GenerationRequest
-    result: GenerationResult
+    result: Optional[GenerationResult]
     batch_size: int  # size of the micro-batch this request ran in
     wait_s: float = 0.0  # queue time before the batch formed
     service_s: float = 0.0  # batch execution time (shared by the batch)

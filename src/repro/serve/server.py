@@ -17,13 +17,26 @@ and :meth:`run_until_drained` flushes the queue. This keeps behavior
 deterministic and testable while modelling exactly the batching dynamics
 (coalescing, max-wait dispatch, cross-request cache reuse) a concurrent
 front end would exhibit.
+
+Two hooks let the cluster simulator (:mod:`repro.cluster`) drive a server
+in virtual time:
+
+- ``service_time`` — a per-batch callable ``(MicroBatch) -> float``; when
+  set, batch service times (and therefore ``busy_s``, per-request
+  ``service_s`` and throughput) come from it — e.g. the
+  :class:`repro.hw.accelerator.ExionAccelerator` latency model — instead
+  of wall-clock measurement, so reports are deterministic across machines.
+  Wall clock remains the fallback when no hook is installed.
+- ``dry_run`` — skip the numeric generation entirely and account only for
+  queueing/batching/timing (results carry ``result=None``). Used for
+  large fleet sweeps where only the schedule matters.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.config import ExionConfig
 from repro.core.sparsity import RunStats
@@ -36,11 +49,19 @@ from repro.serve.scheduler import BatchingPolicy, MicroBatch, Scheduler
 
 @dataclass
 class ServeReport:
-    """Aggregate view of everything a server instance has served."""
+    """Aggregate view of everything a server instance has served.
+
+    ``timing_source`` records where ``busy_s``/``queue_wait_s`` came
+    from: ``"simulated"`` when a per-batch ``service_time`` hook drove
+    the accounting (deterministic across machines — what the cluster
+    event loop installs), ``"wall_clock"`` otherwise.
+    """
 
     requests_served: int = 0
     batches_served: int = 0
     busy_s: float = 0.0  # time spent inside batched generation
+    queue_wait_s: float = 0.0  # summed per-request wait before dispatch
+    timing_source: str = "wall_clock"
     merged_stats: RunStats = field(default_factory=RunStats)
     cache_info: dict = field(default_factory=dict)
 
@@ -49,6 +70,12 @@ class ServeReport:
         if self.batches_served == 0:
             return 0.0
         return self.requests_served / self.batches_served
+
+    @property
+    def mean_wait_s(self) -> float:
+        if self.requests_served == 0:
+            return 0.0
+        return self.queue_wait_s / self.requests_served
 
     @property
     def samples_per_s(self) -> float:
@@ -63,7 +90,10 @@ class ServeReport:
             "batches_served": self.batches_served,
             "mean_batch_size": self.mean_batch_size,
             "busy_s": self.busy_s,
+            "queue_wait_s": self.queue_wait_s,
+            "mean_wait_s": self.mean_wait_s,
             "samples_per_s": self.samples_per_s,
+            "timing_source": self.timing_source,
             **{f"cache_{k}": v for k, v in self.cache_info.items()},
         }
 
@@ -82,8 +112,11 @@ class ExionServer:
         depth: Optional[int] = None,
         activation_bits: Optional[int] = None,
         calibrate: bool = False,
+        calibration_seed: int = 0,
         clock=time.perf_counter,
         retain_results: bool = True,
+        service_time: Optional[Callable[[MicroBatch], float]] = None,
+        dry_run: bool = False,
     ) -> None:
         model_cache_key(model_name, model_seed, total_iterations, depth)
         self.model_name = model_name
@@ -94,6 +127,8 @@ class ExionServer:
         self.queue = RequestQueue()
         self.scheduler = Scheduler(self.queue, policy)
         self._clock = clock
+        self.service_time = service_time
+        self.dry_run = dry_run
         self._pipeline_kwargs = dict(
             config=self.config,
             model_seed=model_seed,
@@ -101,6 +136,7 @@ class ExionServer:
             depth=depth,
             activation_bits=activation_bits,
             calibrate=calibrate,
+            calibration_seed=calibration_seed,
         )
         # Served results are retained for result() lookups by default; a
         # long-lived server can pass retain_results=False and consume the
@@ -111,6 +147,7 @@ class ExionServer:
         self._requests_served = 0
         self._batches_served = 0
         self._busy_s = 0.0
+        self._wait_s = 0.0
         self._merged_stats = RunStats()
 
     # ------------------------------------------------------------------
@@ -159,6 +196,10 @@ class ExionServer:
             requests_served=self._requests_served,
             batches_served=self._batches_served,
             busy_s=self._busy_s,
+            queue_wait_s=self._wait_s,
+            timing_source=(
+                "simulated" if self.service_time is not None else "wall_clock"
+            ),
             merged_stats=RunStats.merged([self._merged_stats]),
             cache_info=self.cache.info(),
         )
@@ -167,24 +208,37 @@ class ExionServer:
     # internals
     # ------------------------------------------------------------------
     def _serve(self, batch: MicroBatch) -> list[RequestResult]:
-        pipeline = self.cache.pipeline(self.model_name, **self._pipeline_kwargs)
-        start = self._clock()
-        generations = pipeline.run_batch(batch.requests)
-        service_s = max(0.0, self._clock() - start)
+        if self.dry_run:
+            generations = [None] * len(batch)
+            service_s = 0.0
+        else:
+            pipeline = self.cache.pipeline(
+                self.model_name, **self._pipeline_kwargs
+            )
+            start = self._clock()
+            generations = pipeline.run_batch(batch.requests)
+            service_s = max(0.0, self._clock() - start)
+        # Simulated service time (cluster event loop) beats the wall-clock
+        # measurement whenever a hook is installed.
+        if self.service_time is not None:
+            service_s = float(self.service_time(batch))
 
         served = []
         for request, generation in zip(batch.requests, generations):
+            wait_s = max(0.0, batch.formed_at - request.submitted_at)
             record = RequestResult(
                 request=request,
                 result=generation,
                 batch_size=len(batch),
-                wait_s=max(0.0, batch.formed_at - request.submitted_at),
+                wait_s=wait_s,
                 service_s=service_s,
             )
             if self.retain_results:
                 self.results[request.request_id] = record
             served.append(record)
-            self._merged_stats.merge_from(generation.stats)
+            self._wait_s += wait_s
+            if generation is not None:
+                self._merged_stats.merge_from(generation.stats)
         self._requests_served += len(served)
         self._batches_served += 1
         self._busy_s += service_s

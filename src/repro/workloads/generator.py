@@ -12,13 +12,37 @@ with the two structural properties the paper's data exhibits:
 - **attention keep-masks** concentrate on popular key columns (top-k rows
   agree on important keys) with fully-skipped one-hot rows, which is what
   makes EP's K/V-projection skipping possible (Section II-B).
+
+Every generator takes an **explicit** RNG: pass a seeded
+``numpy.random.Generator`` (or an integer seed, normalized through
+:func:`as_rng`). There is deliberately no hidden ``default_rng(0)``
+fallback — serve and cluster runs must propagate one seed end to end to
+stay reproducible, so a forgotten RNG is an error, not a silent default.
 """
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
 from repro.core.bitmask import Bitmask
+
+
+def as_rng(rng: Union[int, np.random.Generator]) -> np.random.Generator:
+    """Normalize an explicit seed or generator into a ``Generator``.
+
+    ``None`` is rejected on purpose: callers must say where their
+    randomness comes from.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        "pass an explicit int seed or numpy.random.Generator "
+        f"(got {rng!r}); the hidden default_rng(0) fallback was removed"
+    )
 
 
 def ffn_output_bitmask(
@@ -26,7 +50,8 @@ def ffn_output_bitmask(
     cols: int,
     sparsity: float,
     dead_col_fraction: float = 0.25,
-    rng: np.random.Generator = None,
+    *,
+    rng: Union[int, np.random.Generator],
 ) -> Bitmask:
     """FFN-Reuse bitmask with column-correlated sparsity.
 
@@ -34,8 +59,7 @@ def ffn_output_bitmask(
     remaining columns carry Bernoulli occupancy tuned so the overall
     element sparsity equals ``sparsity``.
     """
-    if rng is None:
-        rng = np.random.default_rng(0)
+    rng = as_rng(rng)
     if not 0.0 <= sparsity <= 1.0:
         raise ValueError("sparsity must be in [0, 1]")
     if not 0.0 <= dead_col_fraction < 1.0:
@@ -91,7 +115,8 @@ def attention_keepmask(
     top_k_ratio: float,
     one_hot_rate: float = 0.0,
     concentration: float = 1.5,
-    rng: np.random.Generator = None,
+    *,
+    rng: Union[int, np.random.Generator],
 ) -> Bitmask:
     """EP keep-mask: per-row top-k over shared key-popularity scores.
 
@@ -99,8 +124,7 @@ def attention_keepmask(
     ``concentration`` > 0 skews rows toward agreeing on the same keys
     (higher = more agreement = more condensable key columns).
     """
-    if rng is None:
-        rng = np.random.default_rng(0)
+    rng = as_rng(rng)
     if not 0.0 < top_k_ratio <= 1.0:
         raise ValueError("top_k_ratio must be in (0, 1]")
     if not 0.0 <= one_hot_rate <= 1.0:
@@ -122,7 +146,8 @@ def denoising_trajectory(
     dim: int,
     iterations: int,
     smoothness: float = 0.9,
-    rng: np.random.Generator = None,
+    *,
+    rng: Union[int, np.random.Generator],
 ) -> np.ndarray:
     """A synthetic latent trajectory with inter-iteration smoothness.
 
@@ -130,10 +155,9 @@ def denoising_trajectory(
     similarity roughly ``smoothness``, emulating the reverse-denoising
     drift of Fig. 7 for substrate-free experiments.
     """
+    rng = as_rng(rng)
     if not 0.0 <= smoothness < 1.0:
         raise ValueError("smoothness must be in [0, 1)")
-    if rng is None:
-        rng = np.random.default_rng(0)
     out = np.empty((iterations, tokens, dim))
     x = rng.standard_normal((tokens, dim))
     out[0] = x

@@ -1,0 +1,160 @@
+"""Service-time model and replica dispatch mechanics (sim time only)."""
+
+import pytest
+
+from repro.cluster.replica import (
+    Replica,
+    ServiceTimeModel,
+    make_accelerator,
+)
+from repro.cluster.traffic import ClusterRequest
+from repro.serve.scheduler import BatchingPolicy
+
+
+def request(at, model="dit", seed=0, ablation="all"):
+    return ClusterRequest(arrival_s=at, model=model, seed=seed,
+                          class_label=1, ablation=ablation)
+
+
+@pytest.fixture(scope="module")
+def service_model():
+    return ServiceTimeModel("exion24")
+
+
+class TestServiceTimeModel:
+    def test_accelerator_resolution(self):
+        assert make_accelerator("exion4").name == "EXION4"
+        with pytest.raises(KeyError):
+            make_accelerator("tpu")
+
+    def test_latencies_positive_and_batch_monotone(self, service_model):
+        lat1 = service_model.latency_s("dit", "all", 1)
+        lat8 = service_model.latency_s("dit", "all", 8)
+        assert 0.0 < lat1 < lat8
+        # Batching amortizes: per-sample time shrinks with batch size.
+        assert lat8 / 8 < lat1
+
+    def test_ablation_changes_latency(self, service_model):
+        assert service_model.latency_s("dit", "base", 1) > (
+            service_model.latency_s("dit", "all", 1)
+        )
+        with pytest.raises(ValueError):
+            service_model.latency_s("dit", "everything", 1)
+
+    def test_memoized(self, service_model):
+        first = service_model.latency_s("dit", "all", 4)
+        assert service_model.latency_s("dit", "all", 4) is not None
+        assert ("dit", "all", 4) in service_model._latencies
+        assert first == service_model.latency_s("dit", "all", 4)
+
+    def test_edge_accelerator_is_slower(self):
+        edge = ServiceTimeModel("exion4")
+        server = ServiceTimeModel("exion24")
+        assert edge.latency_s("dit", "all", 1) > (
+            server.latency_s("dit", "all", 1)
+        )
+
+
+class TestReplica:
+    def make_replica(self, service_model, **kwargs):
+        kwargs.setdefault("policy", BatchingPolicy(max_batch_size=4))
+        return Replica(index=0, service_model=service_model, **kwargs)
+
+    def test_enqueue_and_greedy_dispatch(self, service_model):
+        replica = self.make_replica(service_model)
+        assert replica.enqueue(request(0.0, seed=1), now=0.0)
+        assert replica.enqueue(request(0.0, seed=2), now=0.0)
+        assert replica.queue_depth() == 2
+        assert replica.next_event_time(0.0) == 0.0
+
+        outcome = replica.try_dispatch(0.0)
+        assert outcome is not None and outcome.batch_size == 2
+        assert outcome.service_s > 0.0
+        assert replica.busy_until == pytest.approx(outcome.completion_s)
+        assert replica.queue_depth() == 0
+        # Busy with nothing pending: no further wake-up needed.
+        assert replica.next_event_time(0.0) is None
+        # And no double dispatch while busy.
+        replica.enqueue(request(0.0, seed=3), now=0.0)
+        assert replica.try_dispatch(0.0) is None
+        assert replica.next_event_time(0.0) == replica.busy_until
+
+    def test_cold_start_paid_once_per_key(self, service_model):
+        replica = self.make_replica(service_model)
+        replica.enqueue(request(0.0, seed=1), now=0.0)
+        first = replica.try_dispatch(0.0)
+        replica.enqueue(request(0.0, seed=2), now=first.completion_s)
+        second = replica.try_dispatch(first.completion_s)
+        base = service_model.latency_s("dit", "all", 1)
+        assert second.service_s == pytest.approx(base)
+        assert first.service_s == pytest.approx(
+            base + service_model.calibration_s("dit")
+        )
+        assert replica.cold_starts == 1
+        assert replica.is_warm(("dit", "all"))
+        assert not replica.is_warm(("mld", "all"))
+
+    def test_admission_control(self, service_model):
+        replica = self.make_replica(service_model)
+        assert replica.enqueue(request(0.0), now=0.0, max_queue_depth=1)
+        assert not replica.enqueue(request(0.0), now=0.0, max_queue_depth=1)
+        assert replica.admission_drops == 1
+
+    def test_timeout_expiry(self, service_model):
+        replica = self.make_replica(
+            service_model,
+            policy=BatchingPolicy(max_batch_size=4, max_wait_s=10.0),
+        )
+        replica.enqueue(request(0.0, seed=1), now=0.0)
+        replica.enqueue(request(5.0, seed=2), now=5.0)
+        dropped = replica.expire(6.0, timeout_s=2.0)
+        assert len(dropped) == 1
+        assert dropped[0].reason == "timeout"
+        assert dropped[0].waited_s == pytest.approx(6.0)
+        assert replica.timeout_drops == 1
+        assert replica.queue_depth() == 1
+        assert replica.expire(6.0, timeout_s=None) == []
+
+    def test_fully_expired_unwarmed_key_loses_affinity(self, service_model):
+        replica = self.make_replica(
+            service_model,
+            policy=BatchingPolicy(max_batch_size=4, max_wait_s=10.0),
+        )
+        replica.enqueue(request(0.0, model="mld"), now=0.0)
+        assert replica.is_warm(("mld", "all"))
+        # Every queued mld request times out before any batch dispatched:
+        # the advertised warmth was never realized.
+        assert len(replica.expire(5.0, timeout_s=1.0)) == 1
+        assert not replica.is_warm(("mld", "all"))
+
+    def test_expired_key_stays_warm_after_a_dispatch(self, service_model):
+        replica = self.make_replica(service_model)
+        replica.enqueue(request(0.0, seed=1), now=0.0)
+        first = replica.try_dispatch(0.0)  # cold start actually paid
+        later = first.completion_s
+        replica.enqueue(request(later, seed=2), now=later)
+        replica.expire(later + 9.0, timeout_s=1.0)
+        # The cache genuinely holds the key; expiry must not unmark it.
+        assert replica.is_warm(("dit", "all"))
+
+    def test_max_wait_schedules_future_fire(self, service_model):
+        replica = self.make_replica(
+            service_model,
+            policy=BatchingPolicy(max_batch_size=4, max_wait_s=2.0),
+        )
+        replica.enqueue(request(1.0), now=1.0)
+        assert replica.try_dispatch(1.5) is None  # not due yet
+        assert replica.next_event_time(1.5) == pytest.approx(3.0)
+        outcome = replica.try_dispatch(3.0)
+        assert outcome is not None and outcome.batch_size == 1
+
+    def test_multi_model_fifo_across_servers(self, service_model):
+        replica = self.make_replica(
+            service_model,
+            policy=BatchingPolicy(max_batch_size=4, max_wait_s=0.0),
+        )
+        replica.enqueue(request(0.0, model="mld"), now=0.0)
+        replica.enqueue(request(1.0, model="dit"), now=1.0)
+        outcome = replica.try_dispatch(2.0)
+        # The mld head waited longer, so its server dispatches first.
+        assert outcome.model == "mld"

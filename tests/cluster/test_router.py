@@ -1,0 +1,102 @@
+"""Routing policy decisions over stub replicas (pure logic, no serving)."""
+
+import pytest
+
+from repro.cluster.router import (
+    CacheAffinityRouter,
+    JoinShortestQueueRouter,
+    RoundRobinRouter,
+    make_router,
+)
+from repro.cluster.traffic import ClusterRequest
+
+
+class StubReplica:
+    """Just enough surface for routing decisions."""
+
+    def __init__(self, index, load=0, warm=()):
+        self.index = index
+        self._load = load
+        self.warm_keys = set(warm)
+
+    def load(self, now):
+        return self._load
+
+    def is_warm(self, key):
+        return key in self.warm_keys
+
+
+def req(model="dit", ablation="all"):
+    return ClusterRequest(arrival_s=0.0, model=model, ablation=ablation)
+
+
+class TestMakeRouter:
+    def test_known_names(self):
+        assert isinstance(make_router("round_robin"), RoundRobinRouter)
+        assert isinstance(make_router("jsq"), JoinShortestQueueRouter)
+        assert isinstance(make_router("cache_affinity"), CacheAffinityRouter)
+        with pytest.raises(KeyError):
+            make_router("random")
+
+
+class TestRoundRobin:
+    def test_cycles_regardless_of_load(self):
+        replicas = [StubReplica(i, load=i * 10) for i in range(3)]
+        router = RoundRobinRouter()
+        picks = [router.choose(req(), replicas, 0.0).index for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+
+class TestJoinShortestQueue:
+    def test_picks_least_loaded(self):
+        replicas = [
+            StubReplica(0, load=5),
+            StubReplica(1, load=2),
+            StubReplica(2, load=9),
+        ]
+        router = JoinShortestQueueRouter()
+        assert router.choose(req(), replicas, 0.0).index == 1
+
+    def test_tie_breaks_on_index(self):
+        replicas = [StubReplica(0, load=3), StubReplica(1, load=3)]
+        assert JoinShortestQueueRouter().choose(
+            req(), replicas, 0.0
+        ).index == 0
+
+
+class TestCacheAffinity:
+    def test_prefers_warm_replica(self):
+        replicas = [
+            StubReplica(0, load=0),
+            StubReplica(1, load=3, warm={("dit", "all")}),
+        ]
+        router = CacheAffinityRouter(max_imbalance=8)
+        assert router.choose(req(), replicas, 0.0).index == 1
+
+    def test_falls_back_to_jsq_when_warm_overloaded(self):
+        replicas = [
+            StubReplica(0, load=0),
+            StubReplica(1, load=20, warm={("dit", "all")}),
+        ]
+        router = CacheAffinityRouter(max_imbalance=8)
+        assert router.choose(req(), replicas, 0.0).index == 0
+
+    def test_cold_key_joins_shortest_queue(self):
+        replicas = [
+            StubReplica(0, load=4),
+            StubReplica(1, load=1, warm={("dit", "all")}),
+        ]
+        router = CacheAffinityRouter()
+        assert router.choose(req(model="mld"), replicas, 0.0).index == 1
+
+    def test_warm_ties_break_on_index(self):
+        warm = {("dit", "all")}
+        replicas = [
+            StubReplica(0, load=2, warm=warm),
+            StubReplica(1, load=2, warm=warm),
+        ]
+        assert CacheAffinityRouter().choose(req(), replicas, 0.0).index == 0
+
+    def test_rejects_negative_imbalance(self):
+        with pytest.raises(ValueError):
+            CacheAffinityRouter(max_imbalance=-1)

@@ -48,6 +48,26 @@ class TestRequestQueue:
         queue.submit_request(request)
         assert queue.pop(1) == [request]
 
+    def test_expire_drops_only_stale_requests(self):
+        queue = RequestQueue()
+        queue.submit(seed=0, now=0.0)
+        queue.submit(seed=1, now=5.0)
+        queue.submit(seed=2, now=9.0)
+        expired = queue.expire(now=10.0, timeout_s=4.0)
+        assert [r.seed for r in expired] == [0, 1]
+        # Survivors keep FIFO order and stay poppable.
+        assert [r.seed for r in queue.pop(8)] == [2]
+
+    def test_expire_noop_when_within_timeout(self):
+        queue = RequestQueue()
+        queue.submit(seed=0, now=0.0)
+        assert queue.expire(now=1.0, timeout_s=1.0) == []  # > not >=
+        assert len(queue) == 1
+
+    def test_expire_rejects_negative_timeout(self):
+        with pytest.raises(ValueError):
+            RequestQueue().expire(now=0.0, timeout_s=-1.0)
+
 
 class TestBatchingPolicy:
     def test_validation(self):
@@ -117,3 +137,66 @@ class TestScheduler:
             queue.submit(seed=seed)
         seeds = [s for batch in scheduler.drain() for s in batch.seeds]
         assert seeds == list(range(6))
+
+
+class TestSchedulerEdgeCases:
+    """The batching-policy corners the cluster event loop leans on."""
+
+    def test_zero_max_wait_dispatches_whatever_is_queued(self):
+        # max_wait=0 degenerates to greedy batching: every next_batch call
+        # with a non-empty queue dispatches immediately, even a batch of 1.
+        queue = RequestQueue()
+        scheduler = Scheduler(
+            queue, BatchingPolicy(max_batch_size=8, max_wait_s=0.0)
+        )
+        queue.submit(seed=0, now=100.0)
+        batch = scheduler.next_batch(now=100.0)  # zero elapsed wait
+        assert batch is not None and len(batch) == 1
+
+    def test_queue_smaller_than_max_batch_waits_then_flushes_partial(self):
+        queue = RequestQueue()
+        scheduler = Scheduler(
+            queue, BatchingPolicy(max_batch_size=8, max_wait_s=3.0)
+        )
+        for seed in range(3):  # 3 < max_batch_size
+            queue.submit(seed=seed, now=0.0)
+        assert scheduler.next_batch(now=2.9) is None
+        batch = scheduler.next_batch(now=3.0)
+        assert batch is not None and batch.seeds == (0, 1, 2)
+        assert queue.is_empty
+
+    def test_burst_larger_than_max_batch_splits_into_full_batches(self):
+        queue = RequestQueue()
+        scheduler = Scheduler(
+            queue, BatchingPolicy(max_batch_size=4, max_wait_s=60.0)
+        )
+        for seed in range(11):  # burst of 11 > max_batch_size
+            queue.submit(seed=seed, now=0.0)
+        sizes = []
+        while (batch := scheduler.next_batch(now=0.0)) is not None:
+            sizes.append(len(batch))
+        # Two full batches fire immediately; the tail of 3 waits out
+        # max_wait before a third call would dispatch it.
+        assert sizes == [4, 4]
+        assert len(queue) == 3
+        tail = scheduler.next_batch(now=60.0)
+        assert tail is not None and tail.seeds == (8, 9, 10)
+
+    def test_fifo_preserved_under_interleaved_coalescing(self):
+        # Submissions interleave with dispatches; coalescing must never
+        # reorder requests across or within micro-batches.
+        queue = RequestQueue()
+        scheduler = Scheduler(
+            queue, BatchingPolicy(max_batch_size=3, max_wait_s=0.0)
+        )
+        order = []
+        queue.submit(seed=0)
+        queue.submit(seed=1)
+        order.extend(scheduler.next_batch(now=0.0).seeds)
+        for seed in (2, 3, 4, 5):
+            queue.submit(seed=seed)
+        order.extend(scheduler.next_batch(now=1.0).seeds)
+        queue.submit(seed=6)
+        order.extend(scheduler.next_batch(now=2.0).seeds)
+        assert order == list(range(7))
+        assert scheduler.batches_formed == 3

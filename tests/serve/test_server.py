@@ -141,6 +141,75 @@ class TestServing:
         # Report aggregates survive the pop.
         assert server.report().requests_served == 1
 
+    def test_service_time_hook_overrides_wall_clock(self):
+        clock = FakeClock()
+        server = make_server(
+            policy=BatchingPolicy(max_batch_size=2),
+            clock=clock,
+            service_time=lambda batch: 2.5 * len(batch),
+        )
+        clock.now = 1.0
+        for seed in range(2):
+            server.submit(seed=seed, class_label=0)
+        clock.now = 4.0
+        results = server.run_until_drained()
+        # Simulated accounting: the hook's value, not elapsed wall clock.
+        assert [r.service_s for r in results] == [5.0, 5.0]
+        assert [r.wait_s for r in results] == [3.0, 3.0]
+        report = server.report()
+        assert report.timing_source == "simulated"
+        assert report.busy_s == pytest.approx(5.0)
+        assert report.queue_wait_s == pytest.approx(6.0)
+        assert report.mean_wait_s == pytest.approx(3.0)
+        # Real generation still happened alongside the simulated timing.
+        assert results[0].result is not None
+
+    def test_wall_clock_fallback_without_hook(self):
+        server = make_server()
+        server.submit(seed=0)
+        server.run_until_drained()
+        assert server.report().timing_source == "wall_clock"
+
+    def test_dry_run_accounts_without_generating(self):
+        clock = FakeClock()
+        server = make_server(
+            policy=BatchingPolicy(max_batch_size=4),
+            clock=clock,
+            service_time=lambda batch: 1.5,
+            dry_run=True,
+        )
+        for seed in range(3):
+            server.submit(seed=seed, class_label=0)
+        results = server.run_until_drained()
+        assert [r.result for r in results] == [None, None, None]
+        report = server.report()
+        assert report.requests_served == 3
+        assert report.busy_s == pytest.approx(1.5)
+        # No generation ran: the cache never built a model and the merged
+        # stats stayed empty.
+        assert server.cache.info()["models"] == 0
+        assert report.merged_stats.dense_iterations == 0
+
+    def test_simulated_reports_deterministic(self):
+        def run():
+            clock = FakeClock()
+            server = make_server(
+                policy=BatchingPolicy(max_batch_size=2),
+                clock=clock,
+                service_time=lambda batch: 0.25 * len(batch),
+                dry_run=True,
+            )
+            for seed in range(5):
+                clock.now = 0.1 * seed
+                server.submit(seed=seed)
+                server.step()
+            server.run_until_drained()
+            report = server.report()
+            return (report.busy_s, report.queue_wait_s,
+                    report.batches_served)
+
+        assert run() == run()
+
     def test_report_returns_copy_of_aggregates(self):
         server = make_server()
         server.submit(seed=0)

@@ -27,6 +27,30 @@ class TestParser:
         assert args.max_wait == 0.0
         assert not args.calibrate
 
+    def test_serve_seed_plumbing_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--model-seed", "3", "--calibration-seed", "7"]
+        )
+        assert args.model_seed == 3
+        assert args.calibration_seed == 7
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.models == "dit"
+        assert args.replicas == 4
+        assert args.accelerator == "exion24"
+        assert args.router == "jsq"
+        assert args.arrival == "poisson"
+        assert args.seed == 0
+        assert args.timeout is None
+        assert not args.execute
+
+    def test_cluster_choice_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--router", "random"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--arrival", "weibull"])
+
     def test_bench_defaults(self):
         args = build_parser().parse_args(["bench", "--list"])
         assert args.list
@@ -100,6 +124,54 @@ class TestCommands:
         out = capsys.readouterr().out
         # 3 requests at batch size 2: one full batch, one waited-out tail.
         assert "batches=2" in out
+
+    def test_cluster(self, capsys):
+        code = main([
+            "cluster", "--replicas", "2", "--requests", "16",
+            "--rate", "200", "--router", "jsq",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jsq routing, 2 x exion24" in out.lower() or "jsq" in out
+        assert "Per-replica usage" in out
+        assert "replica1" in out
+
+    def test_cluster_json_is_seed_deterministic(self, capsys, tmp_path):
+        import json
+
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        argv = ["cluster", "--replicas", "2", "--requests", "12",
+                "--rate", "300", "--router", "cache_affinity",
+                "--seed", "5", "--slo-target", "1.0"]
+        assert main(argv + ["--json", str(first)]) == 0
+        assert main(argv + ["--json", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        data = json.loads(first.read_text())
+        assert data["submitted"] == 12
+        assert data["scenario"]["router"] == "cache_affinity"
+        assert data["scenario"]["seed"] == 5
+
+    def test_cluster_trace_round_trip(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "cluster", "--requests", "10", "--rate", "100",
+            "--replicas", "1", "--save-trace", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "cluster", "--trace", str(trace_path), "--replicas", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "submitted        10" in out
+
+    def test_cluster_mmpp_with_slo(self, capsys):
+        assert main([
+            "cluster", "--arrival", "mmpp", "--requests", "12",
+            "--rate", "400", "--replicas", "1", "--timeout", "2.0",
+            "--max-queue-depth", "8", "--slo-target", "0.5",
+        ]) == 0
+        assert "SLO attainment" in capsys.readouterr().out
 
     def test_simulate(self, capsys):
         assert main(["simulate", "--model", "mdm"]) == 0
