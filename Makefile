@@ -6,8 +6,10 @@
 #   make bench-smoke    fast subset (tag:smoke) of the structured benches
 #   make bench-compare  diff bench_results/ against the committed baseline
 #   make cluster-smoke  fleet-simulation scaling bench + CLI demo run
+#   make explore-smoke  design-space Pareto bench + CLI demo run
 #   make docs-check     docstring + __all__ export lint
 #   make check          test + docs-check + bench-smoke + cluster-smoke
+#                       + explore-smoke
 
 PYTHON ?= python
 PYTHONPATH := src
@@ -18,7 +20,8 @@ BASELINE ?= benchmarks/baseline/BENCH_repro.json
 LATENCY_TOL ?= 0.10
 LATENCY_MIN_ABS ?= 0.25
 
-.PHONY: test lint bench bench-smoke bench-compare cluster-smoke docs-check check
+.PHONY: test lint bench bench-smoke bench-compare cluster-smoke \
+	explore-smoke docs-check check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -47,7 +50,13 @@ cluster-smoke:
 		--replicas 4 --requests 48 --rate 300 --router jsq \
 		--slo-target 1.0
 
+explore-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench \
+		--run explore_pareto --out $(BENCH_OUT)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro explore \
+		--strategy random --budget 8 --iterations 8 --workers 2
+
 docs-check:
 	$(PYTHON) tools/docs_check.py
 
-check: test docs-check bench-smoke cluster-smoke
+check: test docs-check bench-smoke cluster-smoke explore-smoke

@@ -3,6 +3,13 @@
 Table I fixes (q_th, k) per model empirically. This sweep exposes the
 trade-off: smaller k (keep less) and smaller q_th (collapse more rows)
 increase intra-iteration sparsity at an accuracy cost.
+
+The sweep itself runs through the design-space exploration engine
+(:mod:`repro.explore`): the (top-k, q_th) grid is a
+:class:`~repro.explore.space.SearchSpace`, the hand-rolled point loop is
+:class:`~repro.explore.GridSearch` + :class:`~repro.explore.ExploreRunner`
+with a bench-local evaluator, and the metrics/baseline values are
+unchanged from the pre-engine sweep.
 """
 
 from dataclasses import replace
@@ -12,6 +19,13 @@ from repro.analysis.report import percent
 from repro.bench import BenchResult, register_bench
 from repro.core.config import ExionConfig
 from repro.core.pipeline import ExionPipeline
+from repro.explore import (
+    Categorical,
+    ExploreRunner,
+    GridSearch,
+    Objective,
+    SearchSpace,
+)
 from repro.models.zoo import build_model
 from repro.workloads.metrics import psnr
 
@@ -19,6 +33,19 @@ from .conftest import emit_result
 
 SWEEP_TOP_K = (0.8, 0.4, 0.1)
 SWEEP_Q_TH = (1e9, 0.5)
+
+#: Grid order is declaration-order-major: top_k outer, q_th inner —
+#: the same nesting the original hand-rolled loop used.
+SWEEP_SPACE = SearchSpace([
+    Categorical("top_k", SWEEP_TOP_K),
+    Categorical("q_th", SWEEP_Q_TH),
+])
+
+SWEEP_OBJECTIVES = (
+    Objective("attn_sparsity", "higher_better"),
+    Objective("psnr_db", "higher_better", "dB"),
+    Objective("kv_skip_rate", "higher_better"),
+)
 
 
 def _point_key(top_k, q_th):
@@ -54,14 +81,35 @@ def run_point(model, vanilla, top_k, q_th):
     }
 
 
+def evaluate_ep_point(point, fidelity=None):
+    """Engine evaluator: one grid cell to its objective values."""
+    model, vanilla = _model_and_vanilla()
+    cell = run_point(model, vanilla, point["top_k"], point["q_th"])
+    return {
+        "attn_sparsity": cell["sparsity"],
+        "psnr_db": cell["psnr"],
+        "kv_skip_rate": cell["kv_skip"],
+    }
+
+
 @register_bench("ablation_ep_sweep", tags=("ablation", "core"))
 def build_ep_sweep(ctx):
-    model, vanilla = _model_and_vanilla()
-
+    runner = ExploreRunner(
+        SWEEP_SPACE,
+        GridSearch(),
+        evaluate_ep_point,
+        objectives=SWEEP_OBJECTIVES,
+        seed=0,
+    )
     points = [
-        run_point(model, vanilla, top_k, q_th)
-        for top_k in SWEEP_TOP_K
-        for q_th in SWEEP_Q_TH
+        {
+            "top_k": e["point"]["top_k"],
+            "q_th": e["point"]["q_th"],
+            "sparsity": e["objectives"]["attn_sparsity"],
+            "psnr": e["objectives"]["psnr_db"],
+            "kv_skip": e["objectives"]["kv_skip_rate"],
+        }
+        for e in runner.run().evaluations
     ]
     result = BenchResult("ablation_ep_sweep", model="dit")
     result.add_series(

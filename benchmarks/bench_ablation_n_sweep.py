@@ -3,6 +3,16 @@
 The paper fixes N per model (Table I) after empirical search. This sweep
 shows the trade-off that search navigates: larger N skips more FFN work
 but drifts further from the vanilla output.
+
+The sweep runs through the design-space exploration engine
+(:mod:`repro.explore`): the N axis is a one-dimensional
+:class:`~repro.explore.space.SearchSpace` walked by
+:class:`~repro.explore.GridSearch`, with metrics/baseline values
+unchanged from the pre-engine hand-rolled loop. N=0 reproduces vanilla
+exactly (infinite PSNR); because engine objectives must stay finite for
+the canonical report, the evaluator clamps PSNR at
+:data:`repro.explore.objectives.PSNR_CAP_DB` and carries exactness as
+its own objective.
 """
 
 import math
@@ -13,12 +23,28 @@ from repro.analysis.report import percent
 from repro.bench import BenchResult, register_bench
 from repro.core.config import ExionConfig
 from repro.core.pipeline import ExionPipeline
+from repro.explore import (
+    Categorical,
+    ExploreRunner,
+    GridSearch,
+    Objective,
+    SearchSpace,
+)
+from repro.explore.objectives import PSNR_CAP_DB
 from repro.models.zoo import build_model
 from repro.workloads.metrics import psnr
 
 from .conftest import emit_result
 
 SWEEP_N = (0, 1, 2, 4, 8)
+
+SWEEP_SPACE = SearchSpace([Categorical("n", SWEEP_N)])
+
+SWEEP_OBJECTIVES = (
+    Objective("ops_reduction", "higher_better"),
+    Objective("psnr_db", "higher_better", "dB"),
+    Objective("exact", "higher_better"),
+)
 
 
 @lru_cache(maxsize=1)
@@ -43,11 +69,38 @@ def sweep_point(model, vanilla, n):
     }
 
 
+def evaluate_n_point(point, fidelity=None):
+    """Engine evaluator: one N value to its (finite) objective values."""
+    model, vanilla = _model_and_vanilla()
+    cell = sweep_point(model, vanilla, point["n"])
+    exact = not math.isfinite(cell["psnr"])
+    return {
+        "ops_reduction": cell["ops_reduction"],
+        "psnr_db": PSNR_CAP_DB if exact else cell["psnr"],
+        "exact": 1.0 if exact else 0.0,
+    }
+
+
 @register_bench("ablation_n_sweep", tags=("ablation", "core"))
 def build_n_sweep(ctx):
-    model, vanilla = _model_and_vanilla()
-
-    points = [sweep_point(model, vanilla, n) for n in SWEEP_N]
+    runner = ExploreRunner(
+        SWEEP_SPACE,
+        GridSearch(),
+        evaluate_n_point,
+        objectives=SWEEP_OBJECTIVES,
+        seed=0,
+    )
+    points = [
+        {
+            "n": e["point"]["n"],
+            "ops_reduction": e["objectives"]["ops_reduction"],
+            "psnr": (
+                float("inf") if e["objectives"]["exact"]
+                else e["objectives"]["psnr_db"]
+            ),
+        }
+        for e in runner.run().evaluations
+    ]
     result = BenchResult("ablation_n_sweep", model="dit")
     result.add_series(
         "Ablation — FFN-Reuse period N on DiT (paper uses N=2)",

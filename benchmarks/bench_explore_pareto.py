@@ -1,0 +1,184 @@
+"""Design-space exploration smoke: Table II classes under the engine.
+
+The exploration claim of ``repro.explore``: a small grid over hardware
+knobs (DSC count, memory bandwidth, GSC capacity — generalizing the
+Table II factories) crossed with algorithm ablations (FFN-Reuse on/off,
+eager-prediction top-k) reproduces, through the engine, the paper's
+deployment-point ordering:
+
+- **dominance** — at every algorithm configuration, the EXION24-class
+  hardware point (24 DSCs, 819 GB/s, 64 MB GSC) beats the EXION4-class
+  point (4 DSCs, 51 GB/s, Table II per-DSC GSC provisioning) on latency
+  at *equal* accuracy (the accuracy objective depends only on algorithm
+  knobs, so matched algo configs score identically on every hardware
+  variant);
+- **determinism** — two same-seed engine runs emit byte-identical
+  :class:`~repro.explore.report.ExploreReport` JSON.
+
+Run with::
+
+    pytest benchmarks/bench_explore_pareto.py --import-mode=importlib -s
+"""
+
+from repro.bench import register_bench
+from repro.explore import (
+    ExploreRunner,
+    GridSearch,
+    PointEvaluator,
+    default_space,
+    point_id,
+)
+
+from .conftest import emit_result
+
+SEED = 0
+ITERATIONS = 10
+MODEL = "dit"
+
+#: EXION4-class vs EXION24-class hardware corners (dram technology held
+#: at GDDR6 so per-bit energy is comparable; bandwidth/GSC carry the
+#: Table II numbers).
+HW_GRID = {
+    "num_dscs": (4, 24),
+    "bandwidth_gbps": (51.0, 819.0),
+    "gsc_mb": (64.0 / 24.0 * 4.0, 64.0),
+}
+ALGO_GRID = {
+    "enable_ffn_reuse": (True, False),
+    "top_k_ratio": (0.4, 0.8),
+}
+
+EXION4_CLASS = {
+    "num_dscs": 4, "bandwidth_gbps": 51.0, "gsc_mb": 64.0 / 24.0 * 4.0,
+}
+EXION24_CLASS = {
+    "num_dscs": 24, "bandwidth_gbps": 819.0, "gsc_mb": 64.0,
+}
+
+
+def _space():
+    space = default_space(MODEL)
+    space = space.restrict("dram", ("gddr6",))
+    for name, values in {**HW_GRID, **ALGO_GRID}.items():
+        space = space.restrict(name, values)
+    # Pin the remaining ablation knobs to DiT's Table I values so the
+    # grid stays a smoke-sized 8 hw x 4 algo cross product.
+    from repro.core.config import ExionConfig
+
+    config = ExionConfig.for_model(MODEL)
+    space = space.restrict("sparse_iters_n", (config.sparse_iters_n,))
+    space = space.restrict("ffn_target_sparsity",
+                           (config.ffn_target_sparsity,))
+    space = space.restrict("q_threshold", (config.q_threshold,))
+    space = space.restrict("prediction_bits", (config.prediction_bits,))
+    return space
+
+
+def _runner():
+    return ExploreRunner(
+        _space(),
+        GridSearch(),
+        PointEvaluator(iterations=ITERATIONS, base_seed=SEED),
+        seed=SEED,
+    )
+
+
+def _point_for(algo: dict, hardware: dict) -> dict:
+    from repro.core.config import ExionConfig
+
+    config = ExionConfig.for_model(MODEL)
+    return {
+        "model": MODEL,
+        "dram": "gddr6",
+        "sparse_iters_n": config.sparse_iters_n,
+        "ffn_target_sparsity": config.ffn_target_sparsity,
+        "q_threshold": config.q_threshold,
+        "prediction_bits": config.prediction_bits,
+        **algo,
+        **hardware,
+    }
+
+
+def _algo_combos():
+    return [
+        {"enable_ffn_reuse": ffnr, "top_k_ratio": top_k}
+        for ffnr in ALGO_GRID["enable_ffn_reuse"]
+        for top_k in ALGO_GRID["top_k_ratio"]
+    ]
+
+
+@register_bench("explore_pareto", tags=("explore", "smoke"))
+def build_explore_pareto(ctx):
+    runner = _runner()
+    report = runner.run()
+    rerun_json = _runner().run().to_json()
+    deterministic = rerun_json == report.to_json()
+
+    by_id = {e["id"]: e for e in report.evaluations}
+    speedups = []
+    accuracy_invariant = True
+    rows = []
+    for algo in _algo_combos():
+        edge = by_id[point_id(_point_for(algo, EXION4_CLASS))]
+        server = by_id[point_id(_point_for(algo, EXION24_CLASS))]
+        speedups.append(
+            edge["objectives"]["latency_s"] / server["objectives"]["latency_s"]
+        )
+        accuracy_invariant &= (
+            edge["objectives"]["accuracy_psnr_db"]
+            == server["objectives"]["accuracy_psnr_db"]
+        )
+        rows.append([
+            "on" if algo["enable_ffn_reuse"] else "off",
+            algo["top_k_ratio"],
+            f"{edge['objectives']['latency_s'] * 1e3:.2f}",
+            f"{server['objectives']['latency_s'] * 1e3:.2f}",
+            f"{speedups[-1]:.2f}x",
+            f"{server['objectives']['accuracy_psnr_db']:.2f} dB",
+        ])
+
+    result = report.to_bench_result(
+        "explore_pareto", tags=("explore", "smoke")
+    )
+    result.model = MODEL
+    result.add_series(
+        "EXION4-class vs EXION24-class at matched algorithm configs",
+        ["FFN-Reuse", "top-k", "EXION4-class ms", "EXION24-class ms",
+         "speedup", "accuracy (both)"],
+        rows,
+    )
+    result.add_metric(
+        "exion24_speedup_min", min(speedups), unit="x",
+        direction="higher_better", tolerance=0.10,
+    )
+    result.add_metric(
+        "accuracy_hw_invariant", 1.0 if accuracy_invariant else 0.0,
+        direction="higher_better", tolerance=0.0,
+    )
+    result.add_metric(
+        "deterministic_report", 1.0 if deterministic else 0.0,
+        direction="higher_better", tolerance=0.0,
+    )
+    result.add_note(
+        "Grid: 8 hardware corners x 4 algorithm configs through "
+        "repro.explore (GridSearch + PointEvaluator, "
+        f"iterations={ITERATIONS}); accuracy depends only on algorithm "
+        "knobs, so the dominance comparison is at exactly equal accuracy."
+    )
+    return result
+
+
+def test_explore_pareto(bench_ctx):
+    result = build_explore_pareto(bench_ctx)
+    emit_result(result)
+
+    # The acceptance bar: server-class hardware dominates edge-class on
+    # latency at equal accuracy, for every algorithm configuration.
+    speedup = result.value("exion24_speedup_min")
+    assert speedup > 1.0, (
+        f"an EXION4-class point matched EXION24-class (min speedup "
+        f"{speedup:.2f}x)"
+    )
+    assert result.value("accuracy_hw_invariant") == 1.0
+    assert result.value("deterministic_report") == 1.0
+    assert result.value("frontier_size") >= 1.0

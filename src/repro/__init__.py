@@ -17,7 +17,10 @@ inference. This package reimplements, in pure Python/numpy:
   model/threshold caching (``repro.serve``),
 - a trace-driven multi-accelerator fleet simulator layering open-loop
   traffic, routing policies and SLO accounting over the serving and
-  hardware layers (``repro.cluster``).
+  hardware layers (``repro.cluster``),
+- a parallel design-space exploration engine searching hardware,
+  ablation and fleet-scenario knobs with Pareto-frontier reporting
+  (``repro.explore``).
 
 Quickstart::
 
@@ -64,4 +67,4 @@ __all__ = [
     "build_model",
 ]
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"

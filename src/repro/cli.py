@@ -6,6 +6,7 @@ Usage::
     python -m repro generate --model dit --seed 1  # run EXION inference
     python -m repro serve --model dit --requests 16 --batch-size 8
     python -m repro cluster --replicas 4 --router jsq --rate 200
+    python -m repro explore --strategy random --budget 16 --workers 4
     python -m repro simulate --model dit           # HW sim vs GPU baselines
     python -m repro opcount                        # Fig. 4 breakdown
     python -m repro conmerge --model stable_diffusion
@@ -223,6 +224,111 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         scenario={"arrival": arrival_doc, "seed": args.seed},
     )
     print(report.render())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _parse_set_expression(expression: str) -> tuple:
+    """Parse one ``--set DIM=V1[,V2...]`` into ``(name, values)``."""
+    import json as _json
+
+    if "=" not in expression:
+        raise SystemExit(
+            f"--set expects DIM=V1[,V2...], got {expression!r}"
+        )
+    name, _, raw = expression.partition("=")
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            values.append(_json.loads(token))
+        except ValueError:
+            values.append(token)
+    if not values:
+        raise SystemExit(f"--set {name}= needs at least one value")
+    return name.strip(), values
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.explore import (
+        ExploreRunner,
+        PointEvaluator,
+        SearchSpace,
+        cluster_space,
+        default_space,
+        make_strategy,
+    )
+
+    if args.space is not None:
+        with open(args.space, "r", encoding="utf-8") as fh:
+            space = SearchSpace.from_dict(_json.load(fh))
+    elif args.cluster:
+        space = cluster_space(args.model)
+    else:
+        space = default_space(args.model)
+    for expression in args.set or []:
+        name, values = _parse_set_expression(expression)
+        space = space.restrict(name, values)
+
+    if args.objectives is not None:
+        objectives = tuple(
+            t.strip() for t in args.objectives.split(",") if t.strip()
+        )
+    elif args.cluster:
+        objectives = ("samples_per_s", "slo_attainment", "energy_j")
+    else:
+        objectives = ("latency_s", "energy_j", "accuracy_psnr_db")
+
+    if args.strategy == "grid":
+        strategy = make_strategy("grid", levels=args.grid_levels)
+    elif args.strategy == "random":
+        strategy = make_strategy("random", budget=args.budget)
+    else:
+        fidelities = tuple(
+            int(t) for t in args.halving_fidelities.split(",") if t.strip()
+        )
+        # Unless the user picked one, promote on the first objective of
+        # the run (latency_s in the default set) so --cluster and custom
+        # --objectives lists keep working.
+        rank_by = args.rank_by
+        if rank_by is None:
+            rank_by = "latency_s" if "latency_s" in objectives else (
+                objectives[0]
+            )
+        strategy = make_strategy(
+            "halving", budget=args.budget, eta=args.halving_eta,
+            fidelities=fidelities, rank_by=rank_by,
+        )
+
+    evaluator = PointEvaluator(
+        objectives=objectives,
+        model=args.model,
+        iterations=args.iterations,
+        base_seed=args.seed,
+    )
+    runner = ExploreRunner(
+        space,
+        strategy,
+        evaluator,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        seed=args.seed,
+    )
+    report = runner.run()
+    print(report.render())
+    stats = runner.stats
+    print(
+        f"evaluated={stats.evaluated} cache_hits={stats.cache_hits} "
+        f"cache_misses={stats.cache_misses} "
+        f"(hit rate {stats.hit_rate * 100:.1f}%) workers={stats.workers}"
+    )
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write(report.to_json())
@@ -461,6 +567,55 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--json", default=None,
                      help="write the canonical ClusterReport JSON here")
     clu.set_defaults(func=_cmd_cluster)
+
+    exp = sub.add_parser(
+        "explore",
+        help="parallel design-space exploration with Pareto reporting",
+    )
+    exp.add_argument("--space", default=None,
+                     help="JSON space file (SearchSpace.to_dict layout); "
+                          "default is the built-in co-design space")
+    exp.add_argument("--cluster", action="store_true",
+                     help="explore the fleet scenario space (replicas, "
+                          "router, arrival rate) instead of the default "
+                          "hardware+ablation space")
+    exp.add_argument("--set", action="append", default=[],
+                     metavar="DIM=V1[,V2...]",
+                     help="pin or restrict a dimension inline (repeatable); "
+                          "values are parsed as JSON when possible")
+    exp.add_argument("--model", default="dit",
+                     help="benchmark model the default space is built for")
+    exp.add_argument("--strategy", default="random",
+                     choices=["grid", "random", "halving"])
+    exp.add_argument("--budget", type=int, default=12,
+                     help="points sampled by random/halving strategies")
+    exp.add_argument("--grid-levels", type=int, default=2,
+                     help="grid levels per range dimension")
+    exp.add_argument("--halving-eta", type=float, default=2.0,
+                     help="successive-halving survivor fraction 1/eta")
+    exp.add_argument("--halving-fidelities", default="4,8,12",
+                     help="comma-separated iteration budgets per rung")
+    exp.add_argument("--rank-by", default=None,
+                     help="objective successive halving promotes on "
+                          "(default: latency_s when present, else the "
+                          "first objective of the run)")
+    exp.add_argument("--objectives", default=None,
+                     help="comma-separated objective names (default: "
+                          "latency_s,energy_j,accuracy_psnr_db; cluster "
+                          "mode: samples_per_s,slo_attainment,energy_j)")
+    exp.add_argument("--iterations", type=int, default=12,
+                     help="denoising iterations the objectives price")
+    exp.add_argument("--workers", type=int, default=1,
+                     help="evaluation worker processes")
+    exp.add_argument("--cache-dir", default=None,
+                     help="content-addressed evaluation cache directory "
+                          "(identical points are never re-evaluated)")
+    exp.add_argument("--seed", type=int, default=0,
+                     help="search + evaluation seed; same seed -> "
+                          "byte-identical report")
+    exp.add_argument("--json", default=None,
+                     help="write the canonical ExploreReport JSON here")
+    exp.set_defaults(func=_cmd_explore)
 
     sim = sub.add_parser("simulate", help="hardware simulation vs GPU")
     sim.add_argument("--model", default="dit")

@@ -1,0 +1,390 @@
+"""Parallel evaluation engine with a content-addressed on-disk cache.
+
+:class:`ExploreRunner` drives one search strategy over one space:
+
+- evaluators that declare a ``seed`` parameter get an **explicit
+  per-point seed** derived from the runner seed and the point's
+  canonical encoding (:func:`~repro.explore.space.stable_seed`), so
+  results do not depend on evaluation order, worker count, or which
+  points were cache hits. Seedless evaluators (e.g.
+  :class:`~repro.explore.objectives.PointEvaluator`, which derives its
+  streams from its own ``base_seed`` plus the knobs each objective
+  depends on) are called without one, and their records carry
+  ``seed: null`` — so their cache entries are shared across runner
+  seeds instead of being spuriously re-evaluated;
+- evaluations fan out over worker processes
+  (``concurrent.futures.ProcessPoolExecutor``) when ``workers > 1``;
+  one pool lives for the whole run (worker-side evaluator state, e.g.
+  accuracy memoization, survives across rungs) and ``executor.map``
+  preserves submission order, so parallel and serial runs produce
+  identical reports;
+- with ``cache_dir`` set, each evaluation is stored under the SHA-256 of
+  its full identity — canonical point, fidelity, per-point seed (when
+  used), and the evaluator's :meth:`describe` fingerprint — so identical
+  points are never re-evaluated across sweeps and interrupted runs
+  resume for free. Writes are atomic (temp file + ``os.replace``), which
+  keeps concurrent sweeps sharing one cache directory safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.explore.objectives import (
+    Objective,
+    PointEvaluator,
+    get_objective,
+    knee_point,
+    pareto_front,
+)
+from repro.explore.report import ExploreReport
+from repro.explore.space import (
+    SearchSpace,
+    canonicalize,
+    point_id,
+    point_key,
+    stable_seed,
+)
+from repro.workloads.generator import as_rng
+
+
+@dataclass
+class EvaluationRecord:
+    """One evaluated point: identity, seed, fidelity, objective values.
+
+    ``seed`` is ``None`` when the evaluator does not take one (its
+    randomness, if any, is self-managed).
+    """
+
+    point: dict
+    id: str
+    seed: Optional[int]
+    fidelity: Optional[int]
+    objectives: dict
+    cached: bool = False
+
+    def to_dict(self) -> dict:
+        """Canonical serialization (cache provenance deliberately absent:
+        hit-vs-miss must not change report bytes)."""
+        return {
+            "id": self.id,
+            "point": canonicalize(self.point),
+            "seed": self.seed,
+            "fidelity": self.fidelity,
+            "objectives": {
+                k: float(v) for k, v in sorted(self.objectives.items())
+            },
+        }
+
+
+@dataclass
+class RunnerStats:
+    """Execution accounting, reported next to (never inside) the canonical
+    report so cache hits cannot perturb its bytes."""
+
+    evaluated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+    rounds: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.evaluated == 0:
+            return 0.0
+        return self.cache_hits / self.evaluated
+
+    def to_dict(self) -> dict:
+        return {
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "workers": self.workers,
+            "rounds": self.rounds,
+        }
+
+
+#: Per-worker evaluator installed by :func:`_init_worker`. Sending the
+#: evaluator once per worker (instead of once per payload) lets its
+#: in-process memoization — e.g. PointEvaluator's per-algorithm-config
+#: accuracy cache — keep working across the points that worker draws.
+_WORKER_EVALUATOR = None
+_WORKER_TAKES_SEED = False
+
+
+def _init_worker(evaluator: Callable, takes_seed: bool) -> None:
+    global _WORKER_EVALUATOR, _WORKER_TAKES_SEED
+    _WORKER_EVALUATOR = evaluator
+    _WORKER_TAKES_SEED = takes_seed
+
+
+def _evaluate_in_worker(payload: tuple) -> dict:
+    """Worker entry point (top-level so it pickles by module path)."""
+    point, fidelity, seed = payload
+    if _WORKER_TAKES_SEED:
+        return _WORKER_EVALUATOR(point, fidelity, seed=seed)
+    return _WORKER_EVALUATOR(point, fidelity)
+
+
+def _accepts_seed(evaluator: Callable) -> bool:
+    """Does the evaluator declare a ``seed`` parameter (or ``**kwargs``)?"""
+    try:
+        parameters = inspect.signature(evaluator).parameters
+    except (TypeError, ValueError):
+        return False
+    return "seed" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+def _evaluator_fingerprint(evaluator: Callable) -> dict:
+    if hasattr(evaluator, "describe"):
+        return canonicalize(evaluator.describe())
+    return {
+        "kind": f"{getattr(evaluator, '__module__', '?')}."
+                f"{getattr(evaluator, '__qualname__', repr(evaluator))}"
+    }
+
+
+class ExploreRunner:
+    """Evaluate a strategy's proposals over a space, Pareto-prune, report."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        strategy,
+        evaluator: Optional[Callable] = None,
+        objectives=None,
+        workers: int = 1,
+        cache_dir=None,
+        seed: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.space = space
+        self.strategy = strategy
+        self.evaluator = (
+            evaluator if evaluator is not None else PointEvaluator()
+        )
+        if objectives is None:
+            names = getattr(self.evaluator, "objectives", None)
+            if names is None:
+                raise ValueError(
+                    "pass objectives= when the evaluator does not "
+                    "declare an .objectives tuple"
+                )
+            objectives = names
+        # Accept registered names and ad-hoc Objective instances alike
+        # (bench sweeps define their own axes).
+        self.objectives = [
+            o if isinstance(o, Objective) else get_objective(o)
+            for o in objectives
+        ]
+        rank_by = getattr(strategy, "rank_by", None)
+        if rank_by is not None and rank_by not in {
+            o.name for o in self.objectives
+        }:
+            raise ValueError(
+                f"strategy ranks by {rank_by!r}, which is not among the "
+                f"run's objectives "
+                f"({', '.join(o.name for o in self.objectives)})"
+            )
+        self.workers = workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.seed = int(seed)
+        self.stats = RunnerStats(workers=workers)
+        self._takes_seed = _accepts_seed(self.evaluator)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # cache
+    # ------------------------------------------------------------------
+    def _cache_key(self, point: dict, fidelity: Optional[int],
+                   seed: Optional[int]) -> str:
+        identity = json.dumps(
+            {
+                "evaluator": _evaluator_fingerprint(self.evaluator),
+                "fidelity": fidelity,
+                "objectives": [o.name for o in self.objectives],
+                "point": canonicalize(point),
+                "seed": seed,
+            },
+            sort_keys=True, separators=(",", ":"), allow_nan=False,
+        )
+        return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+    def _cache_path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def _cache_load(self, key: str) -> Optional[dict]:
+        if self.cache_dir is None:
+            return None
+        path = self._cache_path(key)
+        if not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None  # torn write from a crashed run: re-evaluate
+        objectives = data.get("objectives")
+        if not isinstance(objectives, dict) or set(objectives) != {
+            o.name for o in self.objectives
+        }:
+            return None
+        return {k: float(v) for k, v in objectives.items()}
+
+    def _cache_store(self, key: str, record: EvaluationRecord) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._cache_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "key": key,
+                "point": canonicalize(record.point),
+                "seed": record.seed,
+                "fidelity": record.fidelity,
+                "objectives": {
+                    k: float(v)
+                    for k, v in sorted(record.objectives.items())
+                },
+            },
+            sort_keys=True, separators=(",", ":"), allow_nan=False,
+        )
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _evaluate_serial(self, point: dict, fidelity: Optional[int],
+                         seed: Optional[int]) -> dict:
+        if self._takes_seed:
+            return self.evaluator(point, fidelity, seed=seed)
+        return self.evaluator(point, fidelity)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """One pool for the whole run: workers (and their evaluator
+        state/memos) survive across strategy rungs."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.evaluator, self._takes_seed),
+            )
+        return self._pool
+
+    def _evaluate_batch(self, points: list, fidelity: Optional[int]) -> list:
+        records = []
+        misses = []  # (index into records, cache key, payload)
+        for point in points:
+            point = self.space.normalize(point)
+            seed = (
+                stable_seed(self.seed, "point", point_key(point))
+                if self._takes_seed else None
+            )
+            key = self._cache_key(point, fidelity, seed)
+            cached = self._cache_load(key)
+            record = EvaluationRecord(
+                point=dict(point),
+                id=point_id(point),
+                seed=seed,
+                fidelity=fidelity,
+                objectives=cached or {},
+                cached=cached is not None,
+            )
+            if cached is None:
+                misses.append((len(records), key, (point, fidelity, seed)))
+            records.append(record)
+
+        if misses:
+            payloads = [payload for _, _, payload in misses]
+            if self.workers > 1 and len(payloads) > 1:
+                outcomes = list(
+                    self._ensure_pool().map(_evaluate_in_worker, payloads)
+                )
+            else:
+                outcomes = [self._evaluate_serial(*p) for p in payloads]
+            for (index, key, _), objectives in zip(misses, outcomes):
+                records[index].objectives = {
+                    k: float(v) for k, v in objectives.items()
+                }
+                self._cache_store(key, records[index])
+
+        self.stats.evaluated += len(records)
+        self.stats.cache_misses += len(misses)
+        self.stats.cache_hits += len(records) - len(misses)
+        return records
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExploreReport:
+        """Drive the strategy to exhaustion; return the canonical report."""
+        self.stats = RunnerStats(workers=self.workers)
+        self.strategy.start(self.space, as_rng(self.seed))
+        records: list = []
+        try:
+            while True:
+                batch = self.strategy.ask()
+                if batch is None:
+                    break
+                if batch:
+                    fidelity = self.strategy.fidelity()
+                    batch_records = self._evaluate_batch(batch, fidelity)
+                    self.strategy.tell(batch_records)
+                    records.extend(batch_records)
+                    self.stats.rounds += 1
+                else:
+                    self.strategy.tell([])
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+        pool = final_rung(records)
+        values = [r.objectives for r in pool]
+        front = pareto_front(values, self.objectives)
+        knee = knee_point(values, self.objectives, front=front)
+        report = ExploreReport(
+            space=self.space.to_dict(),
+            strategy=self.strategy.describe(),
+            objectives=[o.to_dict() for o in self.objectives],
+            seed=self.seed,
+            evaluations=[r.to_dict() for r in records],
+            frontier=[pool[i].id for i in front],
+            knee=pool[knee].id if knee is not None else None,
+        )
+        report.stats = self.stats
+        return report
+
+
+def final_rung(records: list) -> list:
+    """The records the frontier is drawn from.
+
+    Multi-fidelity strategies re-evaluate survivors at rising iteration
+    counts; comparing objectives across fidelities would be
+    apples-to-oranges, so only the highest-fidelity rung competes. For
+    single-fidelity strategies (``fidelity=None`` throughout) every
+    record competes.
+    """
+    fidelities = [r.fidelity for r in records if r.fidelity is not None]
+    if not fidelities:
+        return list(records)
+    top = max(fidelities)
+    return [r for r in records if r.fidelity == top]
+
+
+__all__ = [
+    "EvaluationRecord",
+    "ExploreRunner",
+    "RunnerStats",
+    "final_rung",
+]

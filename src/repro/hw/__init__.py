@@ -20,7 +20,7 @@ Component map (paper Fig. 10):
 from repro.hw.accelerator import AcceleratorReport, ExionAccelerator
 from repro.hw.cau import CAUModel
 from repro.hw.cfse import CFSEModel
-from repro.hw.dram import DRAMModel, GDDR6, HBM2E, LPDDR5
+from repro.hw.dram import DRAM_TECHNOLOGIES, DRAMModel, GDDR6, HBM2E, LPDDR5, get_dram
 from repro.hw.dram_detail import BankedDRAM, DRAMTimings
 from repro.hw.dsc import DSCModel
 from repro.hw.energy import DSC_AREA_MM2, DSC_POWER_MW, EnergyModel
@@ -37,6 +37,7 @@ __all__ = [
     "CFSEModel",
     "DRAMModel",
     "DRAMTimings",
+    "DRAM_TECHNOLOGIES",
     "DSCModel",
     "DSC_AREA_MM2",
     "DSC_POWER_MW",
@@ -52,5 +53,6 @@ __all__ = [
     "Timeline",
     "execute_iteration",
     "exion_noc",
+    "get_dram",
     "simulate_timeline",
 ]

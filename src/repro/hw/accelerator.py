@@ -18,10 +18,10 @@ from DRAM only once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.ffn_reuse import schedule_phases
-from repro.hw.dram import DRAMModel, GDDR6, HBM2E, LPDDR5
+from repro.hw.dram import DRAMModel, GDDR6, HBM2E, LPDDR5, get_dram
 from repro.hw.dsc import DSCModel, IterationCost
 from repro.hw.energy import CLOCK_HZ, EnergyModel, TOTAL_DSC_POWER_MW
 from repro.hw.profile import SparsityProfile, estimate_profile
@@ -35,6 +35,17 @@ SCALING_EFFICIENCY = 0.92
 
 #: GSC capacity per DSC (EXION24 carries 64 MB for 24 DSCs).
 GSC_BYTES_PER_DSC = int(64 * 1024 * 1024 / 24)
+
+
+def _validate_num_dscs(num_dscs) -> int:
+    """Shared DSC-count validation for the constructor and ``custom``."""
+    if isinstance(num_dscs, bool) or not isinstance(num_dscs, int):
+        raise ValueError(
+            f"num_dscs must be a positive integer, got {num_dscs!r}"
+        )
+    if num_dscs < 1:
+        raise ValueError(f"need at least one DSC (num_dscs={num_dscs})")
+    return num_dscs
 
 
 @dataclass
@@ -84,8 +95,18 @@ class ExionAccelerator:
         clock_hz: float = CLOCK_HZ,
         gsc_bytes_per_dsc: int = GSC_BYTES_PER_DSC,
     ) -> None:
-        if num_dscs < 1:
-            raise ValueError("need at least one DSC")
+        _validate_num_dscs(num_dscs)
+        if not isinstance(dram, DRAMModel):
+            raise ValueError(
+                f"dram must be a DRAMModel (or use ExionAccelerator.custom "
+                f"with a technology name), got {dram!r}"
+            )
+        if clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {clock_hz!r}")
+        if gsc_bytes_per_dsc < 0:
+            raise ValueError(
+                f"gsc_bytes_per_dsc must be >= 0, got {gsc_bytes_per_dsc!r}"
+            )
         self.num_dscs = num_dscs
         self.dram = dram
         self.name = name or f"EXION{num_dscs}"
@@ -107,6 +128,52 @@ class ExionAccelerator:
     @classmethod
     def exion42(cls) -> "ExionAccelerator":
         return cls(num_dscs=42, dram=HBM2E, name="EXION42")
+
+    # ------------------------------------------------------------------
+    # custom configurations (the design-space explorer's substrate)
+    # ------------------------------------------------------------------
+    @classmethod
+    def custom(
+        cls,
+        num_dscs: int,
+        dram: Union[str, DRAMModel] = "gddr6",
+        bandwidth_gbps: Optional[float] = None,
+        gsc_mb: Optional[float] = None,
+        name: Optional[str] = None,
+        clock_hz: float = CLOCK_HZ,
+    ) -> "ExionAccelerator":
+        """A validated configuration anywhere in the Table II design space.
+
+        ``dram`` names a memory technology (``lpddr5``/``gddr6``/``hbm2e``,
+        setting per-bit energy and burst latency) or is a full
+        :class:`~repro.hw.dram.DRAMModel`; ``bandwidth_gbps`` rescales its
+        aggregate bandwidth; ``gsc_mb`` fixes the *total* global-shared-cache
+        capacity (default: the per-DSC Table II provisioning). The three
+        paper factories remain byte-identical shortcuts of this method.
+        """
+        # Validated here too: gsc_mb conversion divides by num_dscs
+        # before __init__ would get the chance to reject it.
+        _validate_num_dscs(num_dscs)
+        model = get_dram(dram) if isinstance(dram, str) else dram
+        if bandwidth_gbps is not None:
+            if bandwidth_gbps <= 0:
+                raise ValueError(
+                    f"bandwidth_gbps must be positive, got {bandwidth_gbps!r}"
+                )
+            model = model.scaled(float(bandwidth_gbps))
+        if gsc_mb is None:
+            gsc_bytes_per_dsc = GSC_BYTES_PER_DSC
+        else:
+            if gsc_mb < 0:
+                raise ValueError(f"gsc_mb must be >= 0, got {gsc_mb!r}")
+            gsc_bytes_per_dsc = int(gsc_mb * 1024 * 1024 / num_dscs)
+        return cls(
+            num_dscs=num_dscs,
+            dram=model,
+            name=name or f"EXION{num_dscs}c",
+            clock_hz=clock_hz,
+            gsc_bytes_per_dsc=gsc_bytes_per_dsc,
+        )
 
     @property
     def peak_tops(self) -> float:

@@ -59,3 +59,22 @@ GDDR6 = DRAMModel(name="GDDR6", bandwidth_gbps=819.0, energy_pj_per_bit=7.0)
 
 #: HBM2e for the EXION42 / A100 comparison (Fig. 19 (b)).
 HBM2E = DRAMModel(name="HBM2e", bandwidth_gbps=1935.0, energy_pj_per_bit=3.5)
+
+#: Memory technologies by lower-case name, for custom accelerator configs
+#: and the design-space explorer's ``dram`` knob.
+DRAM_TECHNOLOGIES = {
+    "lpddr5": LPDDR5,
+    "gddr6": GDDR6,
+    "hbm2e": HBM2E,
+}
+
+
+def get_dram(name: str) -> DRAMModel:
+    """Resolve a technology name (case-insensitive) into its model."""
+    try:
+        return DRAM_TECHNOLOGIES[str(name).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown DRAM technology {name!r}; "
+            f"known: {', '.join(sorted(DRAM_TECHNOLOGIES))}"
+        ) from None

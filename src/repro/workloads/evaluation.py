@@ -2,20 +2,30 @@
 
 Generates aligned sample batches (same seeds) under several optimization
 configurations and computes the full proxy-metric suite per configuration.
-Factored out of the Table I bench so examples, tests and future sweeps can
-reuse the protocol.
+Factored out of the Table I bench so examples, tests and sweeps can reuse
+the protocol; the design-space explorer's accuracy objective calls
+:func:`evaluate_config` with arbitrary :class:`~repro.core.config.ExionConfig`
+points.
+
+Randomness is explicit: every entry point takes ``rng`` (an int seed or a
+``numpy.random.Generator``, normalized through
+:func:`repro.workloads.generator.as_rng`) and derives the model seed and
+per-sample generation seeds from it. There is no hidden ``default_rng``
+fallback — same policy as :mod:`repro.workloads.generator` since the
+cluster layer landed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.core.config import ExionConfig
 from repro.core.pipeline import ExionPipeline
 from repro.models.zoo import BenchmarkModel, build_model
+from repro.workloads.generator import as_rng
 from repro.workloads.metrics import (
     fid_proxy,
     inception_score_proxy,
@@ -96,62 +106,122 @@ def _prompts(n: int) -> list:
     return [base[i % len(base)] for i in range(n)]
 
 
-def evaluate_model(
-    name: str,
-    n_samples: int = 6,
-    iterations: Optional[int] = 15,
-    methods: tuple = TABLE1_METHODS,
-    seed: int = 0,
-) -> EvaluationReport:
-    """Run the Table I protocol on one benchmark model."""
-    if n_samples < 2:
-        raise ValueError("need at least 2 samples for distribution metrics")
-    model = build_model(name, seed=seed, total_iterations=iterations)
-    prompts = _prompts(n_samples)
-    seeds = list(range(100, 100 + n_samples))
+def _draw_seeds(rng, n_samples: int) -> tuple:
+    """Model seed + per-sample generation seeds from one explicit stream."""
+    model_seed = int(rng.integers(2**31))
+    sample_seeds = [int(s) for s in rng.integers(2**31, size=n_samples)]
+    return model_seed, sample_seeds
 
-    batches: dict = {}
-    stats_by_method: dict = {}
-    for method in methods:
-        pipeline, vanilla = _pipeline_for(model, method)
-        samples = []
-        last_stats = None
-        for sample_seed, prompt in zip(seeds, prompts):
-            if vanilla:
-                result = pipeline.generate_vanilla(seed=sample_seed,
-                                                   prompt=prompt)
-            else:
-                result = pipeline.generate(seed=sample_seed, prompt=prompt)
-            samples.append(result.sample)
-            last_stats = result.stats
-        batches[method] = np.stack(samples)
-        stats_by_method[method] = last_stats
 
-    if "vanilla" not in batches:
-        raise ValueError("methods must include 'vanilla' as the reference")
-    reference = batches["vanilla"]
-    conditions = np.stack(
+def _sample_batch(pipeline, vanilla: bool, seeds: list, prompts: list) -> tuple:
+    """Aligned samples (stacked) and the last run's stats."""
+    samples = []
+    last_stats = None
+    for sample_seed, prompt in zip(seeds, prompts):
+        if vanilla:
+            result = pipeline.generate_vanilla(seed=sample_seed, prompt=prompt)
+        else:
+            result = pipeline.generate(seed=sample_seed, prompt=prompt)
+        samples.append(result.sample)
+        last_stats = result.stats
+    return np.stack(samples), last_stats
+
+
+def _conditions(model: BenchmarkModel, prompts: list) -> np.ndarray:
+    return np.stack(
         [model.make_pipeline().embed_prompt(p) if model.conditioning
          else np.full((4, 4), i, dtype=float)
          for i, p in enumerate(prompts)]
     )
 
+
+def _method_metrics(
+    method: str,
+    reference: np.ndarray,
+    batch: np.ndarray,
+    stats,
+    conditions: np.ndarray,
+) -> MethodResult:
+    psnrs = [psnr(v, s) for v, s in zip(reference, batch)]
+    return MethodResult(
+        method=method,
+        psnr_mean=float(np.mean(psnrs)),
+        psnr_min=float(np.min(psnrs)),
+        fid_proxy=fid_proxy(reference, batch),
+        is_proxy=inception_score_proxy(batch),
+        r_precision=r_precision_proxy(batch, conditions),
+        inter_sparsity=stats.ffn_output_sparsity,
+        intra_sparsity=stats.attention_output_sparsity,
+        ffn_ops_reduction=stats.ffn_ops_reduction,
+    )
+
+
+def evaluate_model(
+    name: str,
+    n_samples: int = 6,
+    iterations: Optional[int] = 15,
+    methods: tuple = TABLE1_METHODS,
+    *,
+    rng: Union[int, np.random.Generator],
+) -> EvaluationReport:
+    """Run the Table I protocol on one benchmark model."""
+    if n_samples < 2:
+        raise ValueError("need at least 2 samples for distribution metrics")
+    if "vanilla" not in methods:
+        raise ValueError("methods must include 'vanilla' as the reference")
+    rng = as_rng(rng)
+    model_seed, seeds = _draw_seeds(rng, n_samples)
+    model = build_model(name, seed=model_seed, total_iterations=iterations)
+    prompts = _prompts(n_samples)
+
+    batches: dict = {}
+    stats_by_method: dict = {}
+    for method in methods:
+        pipeline, vanilla = _pipeline_for(model, method)
+        batches[method], stats_by_method[method] = _sample_batch(
+            pipeline, vanilla, seeds, prompts
+        )
+
+    reference = batches["vanilla"]
+    conditions = _conditions(model, prompts)
+
     report = EvaluationReport(model=name, n_samples=n_samples)
     for method in methods:
-        batch = batches[method]
-        stats = stats_by_method[method]
-        psnrs = [psnr(v, s) for v, s in zip(reference, batch)]
         report.methods.append(
-            MethodResult(
-                method=method,
-                psnr_mean=float(np.mean(psnrs)),
-                psnr_min=float(np.min(psnrs)),
-                fid_proxy=fid_proxy(reference, batch),
-                is_proxy=inception_score_proxy(batch),
-                r_precision=r_precision_proxy(batch, conditions),
-                inter_sparsity=stats.ffn_output_sparsity,
-                intra_sparsity=stats.attention_output_sparsity,
-                ffn_ops_reduction=stats.ffn_ops_reduction,
-            )
+            _method_metrics(method, reference, batches[method],
+                            stats_by_method[method], conditions)
         )
     return report
+
+
+def evaluate_config(
+    name: str,
+    config: ExionConfig,
+    n_samples: int = 2,
+    iterations: Optional[int] = 15,
+    activation_bits: Optional[int] = None,
+    label: str = "custom",
+    *,
+    rng: Union[int, np.random.Generator],
+) -> MethodResult:
+    """Score one arbitrary configuration against its vanilla reference.
+
+    The generalization of :func:`evaluate_model` the explorer's accuracy
+    objective uses: instead of the named Table I ladder, any
+    :class:`~repro.core.config.ExionConfig` point is evaluated over an
+    aligned batch (same model seed, same generation seeds as the vanilla
+    reference drawn from ``rng``).
+    """
+    if n_samples < 2:
+        raise ValueError("need at least 2 samples for distribution metrics")
+    rng = as_rng(rng)
+    model_seed, seeds = _draw_seeds(rng, n_samples)
+    model = build_model(name, seed=model_seed, total_iterations=iterations)
+    prompts = _prompts(n_samples)
+
+    vanilla_pipeline = ExionPipeline(model, ExionConfig.for_model(name))
+    reference, _ = _sample_batch(vanilla_pipeline, True, seeds, prompts)
+    pipeline = ExionPipeline(model, config, activation_bits=activation_bits)
+    batch, stats = _sample_batch(pipeline, False, seeds, prompts)
+    return _method_metrics(label, reference, batch, stats,
+                           _conditions(model, prompts))

@@ -34,6 +34,58 @@ class TestConfigurations:
             ExionAccelerator(0, GDDR6)
 
 
+class TestCustomConfigurations:
+    def test_factories_are_custom_points(self):
+        """The Table II factories stay byte-identical to the generalized
+        constructor at the same coordinates."""
+        ex24 = ExionAccelerator.exion24()
+        custom = ExionAccelerator.custom(
+            num_dscs=24, dram="gddr6", gsc_mb=64.0, name="EXION24",
+        )
+        assert custom.num_dscs == ex24.num_dscs
+        assert custom.dram == ex24.dram
+        assert custom.gsc_bytes == ex24.gsc_bytes
+        assert custom.clock_hz == ex24.clock_hz
+        assert custom.name == ex24.name
+
+    def test_custom_simulation_matches_factory(self, dit_profile):
+        spec = get_spec("dit")
+        factory = ExionAccelerator.exion4().simulate(spec, dit_profile)
+        custom = ExionAccelerator.custom(
+            num_dscs=4, dram="lpddr5", name="EXION4",
+        ).simulate(spec, dit_profile)
+        assert custom == factory
+
+    def test_bandwidth_override_scales_technology(self):
+        acc = ExionAccelerator.custom(8, dram="lpddr5",
+                                      bandwidth_gbps=102.0)
+        assert acc.dram.bandwidth_gbps == 102.0
+        assert acc.dram.name == "LPDDR5"  # energy/latency kept
+
+    def test_gsc_mb_is_total_capacity(self):
+        acc = ExionAccelerator.custom(8, gsc_mb=32.0)
+        assert acc.gsc_bytes == int(32.0 * 1024 * 1024 / 8) * 8
+
+    def test_clear_errors_for_bad_knobs(self):
+        with pytest.raises(ValueError, match="num_dscs"):
+            ExionAccelerator.custom(0)
+        with pytest.raises(ValueError, match="positive integer"):
+            ExionAccelerator.custom(2.5)
+        with pytest.raises(ValueError, match="bandwidth_gbps"):
+            ExionAccelerator.custom(4, bandwidth_gbps=-1.0)
+        with pytest.raises(ValueError, match="bandwidth_gbps"):
+            ExionAccelerator.custom(4, bandwidth_gbps=0.0)
+        with pytest.raises(ValueError, match="gsc_mb"):
+            ExionAccelerator.custom(4, gsc_mb=-2.0)
+        with pytest.raises(ValueError, match="unknown DRAM technology"):
+            ExionAccelerator.custom(4, dram="ddr3")
+        with pytest.raises(ValueError, match="clock_hz"):
+            ExionAccelerator.custom(4, clock_hz=0.0)
+
+    def test_default_name_marks_custom(self):
+        assert ExionAccelerator.custom(7).name == "EXION7c"
+
+
 class TestSimulation:
     def test_report_fields(self, dit_profile):
         report = ExionAccelerator.exion24().simulate(

@@ -51,6 +51,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cluster", "--arrival", "weibull"])
 
+    def test_explore_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.strategy == "random"
+        assert args.budget == 12
+        assert args.workers == 1
+        assert args.cache_dir is None
+        assert args.seed == 0
+        assert args.objectives is None
+        assert not args.cluster
+
+    def test_explore_choice_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--strategy", "bayesian"])
+
+    def test_explore_set_is_repeatable(self):
+        args = build_parser().parse_args([
+            "explore", "--set", "num_dscs=4,24", "--set", "dram=gddr6",
+        ])
+        assert args.set == ["num_dscs=4,24", "dram=gddr6"]
+
     def test_bench_defaults(self):
         args = build_parser().parse_args(["bench", "--list"])
         assert args.list

@@ -1,17 +1,20 @@
 """Unit tests for the Table I evaluation harness."""
 
+import numpy as np
 import pytest
 
+from repro.core.config import ExionConfig
 from repro.workloads.evaluation import (
     TABLE1_METHODS,
     EvaluationReport,
+    evaluate_config,
     evaluate_model,
 )
 
 
 @pytest.fixture(scope="module")
 def mld_report():
-    return evaluate_model("mld", n_samples=3, iterations=8)
+    return evaluate_model("mld", n_samples=3, iterations=8, rng=0)
 
 
 class TestEvaluateModel:
@@ -44,15 +47,64 @@ class TestEvaluateModel:
 
     def test_rejects_tiny_sample_count(self):
         with pytest.raises(ValueError):
-            evaluate_model("mld", n_samples=1)
+            evaluate_model("mld", n_samples=1, rng=0)
 
     def test_requires_vanilla_reference(self):
         with pytest.raises(ValueError, match="vanilla"):
             evaluate_model("mld", n_samples=2, iterations=4,
-                           methods=("ffn_reuse",))
+                           methods=("ffn_reuse",), rng=0)
 
     def test_unconditioned_model_runs(self):
         report = evaluate_model("dit", n_samples=2, iterations=6,
-                                methods=("vanilla", "ffn_reuse"))
+                                methods=("vanilla", "ffn_reuse"), rng=0)
         assert isinstance(report, EvaluationReport)
         assert report.n_samples == 2
+
+    def test_rng_is_required_and_explicit(self):
+        with pytest.raises(TypeError):
+            evaluate_model("mld", n_samples=2, iterations=4)  # no rng
+        with pytest.raises(TypeError, match="explicit"):
+            evaluate_model("mld", n_samples=2, iterations=4, rng=None)
+
+    def test_same_rng_same_report(self):
+        a = evaluate_model("mld", n_samples=2, iterations=4,
+                           methods=("vanilla", "ffn_reuse"), rng=7)
+        b = evaluate_model("mld", n_samples=2, iterations=4,
+                           methods=("vanilla", "ffn_reuse"), rng=7)
+        assert a.method("ffn_reuse") == b.method("ffn_reuse")
+
+    def test_generator_instance_accepted(self):
+        report = evaluate_model(
+            "mld", n_samples=2, iterations=4,
+            methods=("vanilla", "ffn_reuse"),
+            rng=np.random.default_rng(3),
+        )
+        assert report.n_samples == 2
+
+
+class TestEvaluateConfig:
+    def test_matches_ladder_method(self):
+        """The ffn_reuse ladder rung expressed as an explicit config point
+        scores identically under the same rng stream."""
+        ladder = evaluate_model(
+            "mld", n_samples=2, iterations=6,
+            methods=("vanilla", "ffn_reuse"), rng=5,
+        ).method("ffn_reuse")
+        direct = evaluate_config(
+            "mld",
+            ExionConfig.for_model("mld", enable_eager_prediction=False),
+            n_samples=2, iterations=6, rng=5,
+        )
+        assert direct.psnr_mean == ladder.psnr_mean
+        assert direct.fid_proxy == ladder.fid_proxy
+        assert direct.inter_sparsity == ladder.inter_sparsity
+
+    def test_label_and_rng_required(self):
+        result = evaluate_config(
+            "mld", ExionConfig.for_model("mld"),
+            n_samples=2, iterations=4, label="point", rng=0,
+        )
+        assert result.method == "point"
+        with pytest.raises(TypeError):
+            evaluate_config("mld", ExionConfig.for_model("mld"),
+                            n_samples=2, iterations=4)
