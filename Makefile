@@ -1,15 +1,5 @@
 # Developer entry points for the EXION reproduction.
-#
-#   make test           tier-1 test suite (the CI gate)
-#   make lint           ruff check (pyflakes + pycodestyle errors)
-#   make bench          full structured bench run -> bench_results/
-#   make bench-smoke    fast subset (tag:smoke) of the structured benches
-#   make bench-compare  diff bench_results/ against the committed baseline
-#   make cluster-smoke  fleet-simulation scaling bench + CLI demo run
-#   make explore-smoke  design-space Pareto bench + CLI demo run
-#   make docs-check     docstring + __all__ export lint
-#   make check          test + docs-check + bench-smoke + cluster-smoke
-#                       + explore-smoke
+# Run `make help` for the annotated target list.
 
 PYTHON ?= python
 PYTHONPATH := src
@@ -20,43 +10,54 @@ BASELINE ?= benchmarks/baseline/BENCH_repro.json
 LATENCY_TOL ?= 0.10
 LATENCY_MIN_ABS ?= 0.25
 
-.PHONY: test lint bench bench-smoke bench-compare cluster-smoke \
-	explore-smoke docs-check check
+.PHONY: help test lint bench bench-smoke bench-compare cluster-smoke \
+	explore-smoke program-smoke smoke docs-check check
 
-test:
+help:  ## list targets with their descriptions
+	@awk -F':.*## ' '/^[a-zA-Z][a-zA-Z0-9_-]*:.*## / \
+		{printf "  %-16s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
+
+test:  ## tier-1 test suite (the CI gate)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-lint:
+lint:  ## ruff check (pyflakes + pycodestyle errors)
 	$(PYTHON) -m ruff check .
 
-bench:
+bench:  ## full structured bench run -> bench_results/
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench --run all \
 		--out $(BENCH_OUT) --verbose
 
-bench-smoke:
+bench-smoke:  ## fast subset (tag:smoke) of the structured benches
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench --run tag:smoke \
 		--out $(BENCH_OUT)
 
-bench-compare:
+bench-compare:  ## diff bench_results/ against the committed baseline
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/bench_compare.py \
 		--latency-tol $(LATENCY_TOL) \
 		--latency-min-abs $(LATENCY_MIN_ABS) \
 		$(BASELINE) $(BENCH_OUT)/BENCH_repro.json
 
-cluster-smoke:
+cluster-smoke:  ## fleet-simulation scaling bench + CLI demo run
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench \
 		--run cluster_scaling --out $(BENCH_OUT)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro cluster \
 		--replicas 4 --requests 48 --rate 300 --router jsq \
 		--slo-target 1.0
 
-explore-smoke:
+explore-smoke:  ## design-space Pareto bench + CLI demo run
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench \
 		--run explore_pareto --out $(BENCH_OUT)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro explore \
 		--strategy random --budget 8 --iterations 8 --workers 2
 
-docs-check:
+program-smoke:  ## lowering-pipeline parity bench + CLI plan inspection
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench \
+		--run program_lowering --out $(BENCH_OUT)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro program --model dit
+
+smoke: bench-smoke cluster-smoke explore-smoke program-smoke  ## all *-smoke targets
+
+docs-check:  ## docstring + __all__ export lint
 	$(PYTHON) tools/docs_check.py
 
-check: test docs-check bench-smoke cluster-smoke explore-smoke
+check: test docs-check smoke  ## test + docs-check + smoke

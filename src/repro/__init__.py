@@ -20,7 +20,10 @@ inference. This package reimplements, in pure Python/numpy:
   hardware layers (``repro.cluster``),
 - a parallel design-space exploration engine searching hardware,
   ablation and fleet-scenario knobs with Pareto-frontier reporting
-  (``repro.explore``).
+  (``repro.explore``),
+- the unified iteration-program IR: one lowering from model spec +
+  ablation config to the per-iteration work schedule that every backend
+  above prices (``repro.program``).
 
 Quickstart::
 
@@ -51,6 +54,7 @@ Fleet quickstart (see ``repro.cluster`` for the full tour)::
                               router=make_router("jsq"))
 """
 
+from repro._version import __version__
 from repro.core.config import ExionConfig
 from repro.core.pipeline import ExionPipeline, GenerationResult
 from repro.models.zoo import BENCHMARK_MODELS, build_model
@@ -64,7 +68,6 @@ __all__ = [
     "ExionPipeline",
     "ExionServer",
     "GenerationResult",
+    "__version__",
     "build_model",
 ]
-
-__version__ = "1.3.0"

@@ -1,0 +1,76 @@
+"""Single-sourced package version.
+
+The version lives in exactly one place — the ``[project]`` table of
+``pyproject.toml``. Installed packages read it back through
+``importlib.metadata``; source checkouts (the usual ``PYTHONPATH=src``
+development mode, where nothing is installed) fall back to parsing the
+checkout's ``pyproject.toml`` directly, so ``repro.__version__`` and
+``python -m repro --version`` can never drift from the packaging
+metadata.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+_FALLBACK = "0+unknown"
+
+
+def _from_metadata() -> str | None:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        return None
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return None
+
+
+def _from_pyproject() -> str | None:
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        text = pyproject.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    try:
+        import tomllib  # Python 3.11+
+    except ImportError:
+        return _regex_version(text)  # Python 3.10
+    try:
+        return tomllib.loads(text).get("project", {}).get("version")
+    except tomllib.TOMLDecodeError:
+        return None
+
+
+def _regex_version(text: str) -> str | None:
+    """Python 3.10 fallback: isolate the ``[project]`` table (up to the
+    next section header at column zero), then find its version key —
+    robust to bracketed values like dependency lists appearing first."""
+    section = re.search(
+        r"^\[project\]\s*$(.*?)(?=^\[|\Z)",
+        text,
+        flags=re.MULTILINE | re.DOTALL,
+    )
+    if section is None:
+        return None
+    match = re.search(
+        r"^version\s*=\s*\"([^\"]+)\"", section.group(1), flags=re.MULTILINE
+    )
+    return match.group(1) if match else None
+
+
+def read_version() -> str:
+    """The package version from pyproject, metadata, or a marker.
+
+    The adjacent source checkout wins over installed metadata: on a
+    ``PYTHONPATH=src`` tree a stale ``pip install`` of an older version
+    (or an unrelated distribution that happens to be named ``repro``)
+    must not shadow the checkout's own ``pyproject.toml``. Installed
+    packages have no adjacent pyproject, so they read their metadata.
+    """
+    return _from_pyproject() or _from_metadata() or _FALLBACK
+
+
+__version__ = read_version()

@@ -6,6 +6,11 @@ deltas are small, runs convolutional layers at reduced effective precision
 and memory traffic. Its strength is conv-heavy UNets (Stable Diffusion);
 transformer blocks see only modest gains — the asymmetry the paper's
 Fig. 19 (b) comparison highlights.
+
+Like every backend, this model performs no model-structure walk of its
+own: the dense workload comes from the GPU roofline over the lowered
+:class:`~repro.program.ir.IterationProgram`, and only the Amdahl split
+between conv and transformer shares is priced here.
 """
 
 from __future__ import annotations

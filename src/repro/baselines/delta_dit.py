@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.models.network import NetworkType
 from repro.models.zoo import BenchmarkModel
+from repro.program.lower import block_ops
 
 
 @dataclass
@@ -80,8 +81,20 @@ class DeltaDiTPipeline:
         self.cached_blocks = set(cached_blocks)
 
     def _block_macs(self, tokens: int) -> int:
-        block = self.model.network.blocks[0]
-        return sum(block.macs(tokens).values())
+        # MAC accounting comes from the shared lowering (sim-scale block
+        # ops, self-attention only — caching skips the block's own work,
+        # not the conditioning path), not from a private model walk.
+        spec = self.model.spec
+        return sum(
+            op.macs
+            for op in block_ops(
+                tokens,
+                spec.dim,
+                spec.num_heads,
+                spec.ffn_mult,
+                activation=spec.activation,
+            )
+        )
 
     def generate(
         self,

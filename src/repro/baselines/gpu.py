@@ -5,6 +5,11 @@ iteration output sparsity cannot be exploited (paper Section III-B). Each
 MMUL runs as a kernel whose time is the max of its compute-roofline,
 memory-roofline and launch-overhead terms; small diffusion kernels leave a
 large device mostly idle, which is where EXION's biggest wins come from.
+
+The kernels priced here are the ops of the lowered
+:class:`~repro.program.ir.IterationProgram` — the same single lowering
+every other backend consumes; this module only supplies the per-kernel
+GPU pricing.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baselines.specs import GPUSpec
-from repro.hw.mapping import iteration_workloads
+from repro.program.lower import lower_program
 from repro.workloads.specs import ModelSpec
 
 
@@ -67,19 +72,20 @@ class GPUModel:
 
     def iteration_seconds(self, spec: ModelSpec, batch: int = 1) -> tuple:
         """(latency, mean utilization) of one denoising iteration."""
+        program = lower_program(spec, scale="paper")
         total = 0.0
         util_weighted = 0.0
         ops_total = 0.0
-        for load in iteration_workloads(spec):
-            r = load.r * batch
-            seconds, util = self._kernel_seconds(r, load.k, load.c)
-            seconds *= load.count
+        for op in program.ops:
+            r = op.r * batch
+            seconds, util = self._kernel_seconds(r, op.k, op.c)
+            seconds *= op.count
             total += seconds
-            ops = 2.0 * r * load.k * load.c * load.count
+            ops = 2.0 * r * op.k * op.c * op.count
             ops_total += ops
             util_weighted += util * ops
         # Auxiliary kernels: launch-bound elementwise work.
-        aux = spec.paper_depth * self.AUX_KERNELS_PER_BLOCK
+        aux = program.depth * self.AUX_KERNELS_PER_BLOCK
         total += aux * self.spec.kernel_launch_s
         mean_util = util_weighted / ops_total if ops_total else 0.0
         return total, mean_util
@@ -99,8 +105,8 @@ class GPUModel:
             + (1.0 - self.spec.idle_power_fraction) * util
         )
         macs = sum(
-            load.r * batch * load.k * load.c * load.count
-            for load in iteration_workloads(spec)
+            op.r * batch * op.k * op.c * op.count
+            for op in lower_program(spec, scale="paper").ops
         )
         dense_ops = 2 * macs * total_iters
         return GPUReport(

@@ -2,12 +2,14 @@
 
 Usage::
 
+    python -m repro --version                      # single-sourced version
     python -m repro models                         # list benchmark models
     python -m repro generate --model dit --seed 1  # run EXION inference
     python -m repro serve --model dit --requests 16 --batch-size 8
     python -m repro cluster --replicas 4 --router jsq --rate 200
     python -m repro explore --strategy random --budget 16 --workers 4
     python -m repro simulate --model dit           # HW sim vs GPU baselines
+    python -m repro program --model dit --json     # inspect the lowered IR
     python -m repro opcount                        # Fig. 4 breakdown
     python -m repro conmerge --model stable_diffusion
 """
@@ -21,28 +23,80 @@ from repro.analysis.report import format_table, percent
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
-    from repro.workloads.specs import BENCHMARK_ORDER, get_spec
+    from repro.workloads.specs import BENCHMARK_ORDER, EXTENDED_ORDER, get_spec
 
-    rows = []
-    for name in BENCHMARK_ORDER:
-        spec = get_spec(name)
-        rows.append(
-            [
-                name,
-                spec.task,
-                f"type {spec.network_type}",
-                spec.total_iterations,
-                f"N={spec.sparse_iters_n}",
-                percent(spec.target_inter_sparsity, 0),
-                percent(spec.target_intra_sparsity, 0),
-            ]
-        )
+    def rows_for(names):
+        rows = []
+        for name in names:
+            spec = get_spec(name)
+            rows.append(
+                [
+                    name,
+                    spec.task,
+                    f"type {spec.network_type}",
+                    spec.total_iterations,
+                    f"N={spec.sparse_iters_n}",
+                    percent(spec.target_inter_sparsity, 0),
+                    percent(spec.target_intra_sparsity, 0),
+                ]
+            )
+        return rows
+
+    headers = ["name", "task", "network", "iters", "FFN-Reuse",
+               "inter sparsity", "intra sparsity"]
     print(format_table(
-        ["name", "task", "network", "iters", "FFN-Reuse",
-         "inter sparsity", "intra sparsity"],
-        rows,
+        headers,
+        rows_for(BENCHMARK_ORDER),
         title="Benchmark models (paper Table I)",
     ))
+    print(format_table(
+        headers,
+        rows_for(EXTENDED_ORDER),
+        title="Extended models (lowering-pipeline scenarios)",
+    ))
+    return 0
+
+
+def _cmd_program(args: argparse.Namespace) -> int:
+    from repro.core.config import ExionConfig
+    from repro.program import lower_plan, plan_digest, plan_json
+    from repro.workloads.specs import get_spec
+
+    spec = get_spec(args.model)
+    config = ExionConfig.for_model(args.model).ablation(args.ablation)
+    plan = lower_plan(
+        spec,
+        config=config,
+        iterations=args.iterations,
+        batch=args.batch,
+    )
+    if args.json:
+        print(plan_json(plan), end="")
+        return 0
+
+    program = plan.program
+    rows = [
+        [op.name, op.kind.value, op.r, op.k, op.c, op.count,
+         f"{op.macs:.3e}", op.weight_bytes]
+        for op in program.ops
+    ]
+    print(format_table(
+        ["op", "kind", "r", "k", "c", "count", "MACs", "weight bytes"],
+        rows,
+        title=(f"IterationProgram {program.model} "
+               f"({program.scale} scale, depth {program.depth})"),
+    ))
+    by_kind = program.macs_by_kind()
+    total = max(program.total_macs, 1)
+    print(f"phase plan: {plan.iterations} iterations "
+          f"({plan.dense_iterations} dense / {plan.sparse_iterations} "
+          f"sparse, N={plan.sparse_iters_n}), batch={plan.batch}, "
+          f"ablation={args.ablation}")
+    print("MACs/iter "
+          + "  ".join(f"{k}={percent(v / total)}" for k, v in by_kind.items())
+          + f"  total={program.total_macs:.3e}")
+    print(f"weights/iter {program.weight_bytes / 1e6:.2f} MB (INT12 packed)")
+    print(f"plan digest {plan_digest(plan)}")
     return 0
 
 
@@ -479,8 +533,14 @@ def _cmd_conmerge(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro._version import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="EXION (HPCA 2025) reproduction CLI"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
+        help="print the package version (single-sourced from pyproject)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -616,6 +676,20 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--json", default=None,
                      help="write the canonical ExploreReport JSON here")
     exp.set_defaults(func=_cmd_explore)
+
+    prg = sub.add_parser(
+        "program",
+        help="inspect the lowered iteration-program IR for a model",
+    )
+    prg.add_argument("--model", default="dit")
+    prg.add_argument("--ablation", default="all",
+                     choices=["base", "ep", "ffnr", "all"])
+    prg.add_argument("--iterations", type=int, default=None,
+                     help="phase-plan length (default: the spec's count)")
+    prg.add_argument("--batch", type=int, default=1)
+    prg.add_argument("--json", action="store_true",
+                     help="emit the canonical byte-stable plan JSON")
+    prg.set_defaults(func=_cmd_program)
 
     sim = sub.add_parser("simulate", help="hardware simulation vs GPU")
     sim.add_argument("--model", default="dit")

@@ -6,9 +6,10 @@ A :class:`Replica` wraps real serving machinery — per-(model, ablation)
 the event loop advances, so batching decisions (coalescing, max-wait
 dispatch) are exactly what the serving layer would do, while **service
 times come from the hardware simulator**, not from wall clock:
-:class:`ServiceTimeModel` prices each micro-batch through
-:meth:`repro.hw.accelerator.ExionAccelerator.simulate` for the replica's
-Table II configuration (exion4 / exion24 / exion42).
+:class:`ServiceTimeModel` lowers each (model, ablation, batch) point
+once through :func:`repro.program.lower_plan` and prices the plan with
+:meth:`repro.hw.accelerator.ExionAccelerator.simulate_plan` for the
+replica's Table II configuration (exion4 / exion24 / exion42).
 
 The first batch of a ``(model, ablation)`` on a replica pays a
 *cold-start* penalty — one vanilla batch-1 generation, mirroring how the
@@ -108,16 +109,19 @@ class ServiceTimeModel:
             raise ValueError("batch_size must be >= 1")
         key = (model, ablation, batch_size)
         if key not in self._latencies:
+            from repro.program import lower_plan
+
             # The enable flags come from the same config the served
             # pipeline uses, so priced and executed ablations can't drift.
             config = ExionConfig.for_model(model).ablation(ablation)
-            report = self.accelerator.simulate(
+            plan = lower_plan(
                 get_spec(model),
-                self._profile(model),
-                enable_ffn_reuse=config.enable_ffn_reuse,
-                enable_eager_prediction=config.enable_eager_prediction,
-                batch=batch_size,
+                config=config,
                 iterations=self.iterations,
+                batch=batch_size,
+            )
+            report = self.accelerator.simulate_plan(
+                plan, self._profile(model)
             )
             self._latencies[key] = report.latency_s
         return self._latencies[key]

@@ -4,13 +4,14 @@ One :class:`PointEvaluator` turns a space point (a plain dict of knob
 values, see :mod:`repro.explore.space`) into a dict of objective values by
 calling into the layers the repo already has:
 
-- **latency_s / energy_j / tops_per_watt** — the hardware walk:
-  :meth:`repro.hw.accelerator.ExionAccelerator.simulate` on a validated
-  custom configuration built from the point's hardware knobs, pricing a
-  workload spec with the point's algorithm *value* knobs folded in
-  (:func:`spec_from_point`: FFN-Reuse period, sparsity target, top-k —
+- **latency_s / energy_j / tops_per_watt** — the hardware path: the
+  point's spec (algorithm *value* knobs folded in by
+  :func:`spec_from_point`: FFN-Reuse period, sparsity target, top-k —
   they reshape the phase schedule and the synthesized sparsity profile,
-  not just the two enable flags);
+  not just the two enable flags) is lowered once through
+  :func:`repro.program.lower_plan` and priced with
+  :meth:`repro.hw.accelerator.ExionAccelerator.simulate_plan` on a
+  validated custom configuration built from the hardware knobs;
 - **accuracy_psnr_db** — the Table I protocol:
   :func:`repro.workloads.evaluation.evaluate_config` on the point's
   algorithm knobs (hardware knobs deliberately do not perturb the
@@ -237,15 +238,18 @@ class PointEvaluator:
     def _hardware_objectives(
         self, model: str, point: dict, iterations: Optional[int]
     ) -> dict:
+        from repro.program import lower_plan
+
         config = config_from_point(model, point)
         spec = spec_from_point(model, point)
-        report = accelerator_from_point(point).simulate(
+        plan = lower_plan(
             spec,
-            self._profile(spec),
-            enable_ffn_reuse=config.enable_ffn_reuse,
-            enable_eager_prediction=config.enable_eager_prediction,
-            batch=self.batch,
+            config=config,
             iterations=iterations,
+            batch=self.batch,
+        )
+        report = accelerator_from_point(point).simulate_plan(
+            plan, self._profile(spec)
         )
         return {
             "latency_s": report.latency_s,

@@ -7,10 +7,15 @@ Instantiates the paper's configurations (Table II):
   (server setting);
 - ``ExionAccelerator.exion42()`` — 42 DSCs, 1935 GB/s (A100 comparison).
 
-The simulation walks the FFN-Reuse phase schedule, prices each iteration
-through :class:`repro.hw.dsc.DSCModel`, overlaps compute with DRAM via the
-double/triple-buffered memories, and accounts energy against the Table III
-power model. A key effect it captures: diffusion reuses identical weights
+The simulator prices the IR: :meth:`ExionAccelerator.simulate_plan`
+consumes a :class:`~repro.program.ir.PhasePlan` (the single lowering's
+full per-iteration schedule), prices each phase through
+:class:`repro.hw.dsc.DSCModel`, overlaps compute with DRAM via the
+double/triple-buffered memories, and accounts energy against the
+Table III power model. :meth:`simulate` is the spec-level convenience
+wrapper — it lowers through :func:`repro.program.lower.lower_plan` and
+delegates; there is no model-structure traversal here. A key effect the
+plan's residency annotations capture: diffusion reuses identical weights
 every iteration, so models whose INT12 weights fit in the GSC fetch them
 from DRAM only once.
 """
@@ -20,11 +25,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from repro.core.ffn_reuse import schedule_phases
 from repro.hw.dram import DRAMModel, GDDR6, HBM2E, LPDDR5, get_dram
 from repro.hw.dsc import DSCModel, IterationCost
-from repro.hw.energy import CLOCK_HZ, EnergyModel, TOTAL_DSC_POWER_MW
+from repro.hw.energy import (
+    CLOCK_HZ,
+    EnergyModel,
+    TOTAL_DSC_POWER_MW,
+    apportion_op_class_energy,
+)
 from repro.hw.profile import SparsityProfile, estimate_profile
+from repro.program.ir import PhasePlan
+from repro.program.lower import lower_plan
 from repro.workloads.specs import ModelSpec
 
 #: Paper Table II: per-DSC normalized throughput.
@@ -62,6 +73,9 @@ class AcceleratorReport:
     computed_ops: int
     energy_breakdown_j: dict = field(default_factory=dict)
     compute_bound_fraction: float = 0.0
+    #: SDUE energy apportioned across IR op classes (qkv / attention /
+    #: ffn1 / ffn2 / etc) by their share of SDUE cycles.
+    op_class_energy_j: dict = field(default_factory=dict)
 
     @property
     def effective_tops(self) -> float:
@@ -195,47 +209,48 @@ class ExionAccelerator:
         batch: int = 1,
         iterations: Optional[int] = None,
     ) -> AcceleratorReport:
-        """Simulate one full generation of ``spec`` on this instance."""
+        """Simulate one full generation of ``spec`` on this instance.
+
+        Convenience wrapper: lowers the spec through
+        :func:`repro.program.lower.lower_plan` and prices the plan with
+        :meth:`simulate_plan`.
+        """
         if profile is None:
             profile = estimate_profile(spec)
-        total_iters = iterations if iterations is not None else spec.total_iterations
-        if enable_ffn_reuse:
-            phases = schedule_phases(total_iters, spec.sparse_iters_n)
-        else:
-            phases = [True] * total_iters
+        plan = lower_plan(
+            spec,
+            enable_ffn_reuse=enable_ffn_reuse,
+            enable_eager_prediction=enable_eager_prediction,
+            iterations=iterations,
+            batch=batch,
+        )
+        return self.simulate_plan(plan, profile)
 
-        # Iteration costs repeat; price each phase once.
-        costs = {
-            False: self.dsc.iteration_cost(
-                spec, profile, enable_ffn_reuse, enable_eager_prediction,
-                sparse_phase=True, batch=batch,
-            ),
-            True: self.dsc.iteration_cost(
-                spec, profile, enable_ffn_reuse, enable_eager_prediction,
-                sparse_phase=False, batch=batch,
-            ),
-        }
+    def simulate_plan(
+        self,
+        plan: PhasePlan,
+        profile: SparsityProfile,
+    ) -> AcceleratorReport:
+        """Price one lowered phase plan on this instance.
 
-        # Weight residency: diffusion reuses identical weights every
-        # iteration, so the GSC-cached fraction is fetched from DRAM once;
-        # only the uncached remainder streams per iteration.
-        weight_bytes_iter = costs[True].weight_bytes
-        cached_fraction = min(1.0, self.gsc_bytes / max(weight_bytes_iter, 1))
+        The plan fully determines the work: per-iteration ops (the
+        program), dense/sparse phase per iteration, batch, and
+        weight-residency annotations. Iteration costs repeat, so each
+        phase kind is priced once through the DSC model.
+        """
+        costs, cached_fraction = self._phase_costs(plan, profile)
 
         energy = EnergyModel(clock_hz=self.clock_hz)
         latency = 0.0
         dense_ops = 0
         computed_ops = 0
         compute_bound_iters = 0
+        op_class_cycles: dict = {}
 
-        for index, is_dense in enumerate(phases):
-            cost = costs[is_dense]
+        for step in plan.steps:
+            cost = costs[step.is_dense]
             compute_s, busy = self._compute_seconds(cost)
-            dram_bytes = cost.activation_bytes
-            if index == 0:
-                dram_bytes += cost.weight_bytes
-            else:
-                dram_bytes += int(cost.weight_bytes * (1.0 - cached_fraction))
+            dram_bytes = self._step_dram_bytes(cost, step, cached_fraction)
             dram_s = self.dram.transfer_seconds(dram_bytes)
             # Double/triple buffering overlaps compute and memory.
             iter_s = max(compute_s, dram_s)
@@ -247,21 +262,60 @@ class ExionAccelerator:
             energy.add_dram_energy(self.dram.transfer_energy_j(dram_bytes))
             dense_ops += 2 * cost.macs_dense_equivalent
             computed_ops += 2 * cost.macs_computed
+            for kind, cycles in cost.per_kind_cycles.items():
+                op_class_cycles[kind] = op_class_cycles.get(kind, 0) + cycles
 
         return AcceleratorReport(
             accelerator=self.name,
-            model=spec.name,
-            batch=batch,
-            iterations=total_iters,
+            model=plan.program.model,
+            batch=plan.batch,
+            iterations=plan.iterations,
             latency_s=latency,
             energy_j=energy.total_energy_j(),
             dense_equivalent_ops=dense_ops,
             computed_ops=computed_ops,
             energy_breakdown_j=energy.breakdown_j(),
-            compute_bound_fraction=compute_bound_iters / max(len(phases), 1),
+            compute_bound_fraction=(
+                compute_bound_iters / max(plan.iterations, 1)
+            ),
+            op_class_energy_j=apportion_op_class_energy(
+                energy.component_energy_j("sdue"), op_class_cycles
+            ),
         )
 
     # ------------------------------------------------------------------
+    def _phase_costs(self, plan: PhasePlan, profile: SparsityProfile) -> tuple:
+        """DSC cost per phase kind plus the GSC-cached weight fraction.
+
+        The single per-step pricing substrate shared by
+        :meth:`simulate_plan` and :func:`repro.hw.timeline.simulate_timeline`.
+        Weight residency: the plan marks every iteration after the cold
+        first fetch as "resident" — the GSC-cached fraction is fetched
+        from DRAM once; only the uncached remainder streams thereafter.
+        """
+        costs = {
+            is_dense: self.dsc.iteration_cost(
+                plan.program, profile, plan.enable_ffn_reuse,
+                plan.enable_eager_prediction, sparse_phase=not is_dense,
+                batch=plan.batch,
+            )
+            for is_dense in (False, True)
+        }
+        weight_bytes_iter = costs[True].weight_bytes
+        cached_fraction = min(1.0, self.gsc_bytes / max(weight_bytes_iter, 1))
+        return costs, cached_fraction
+
+    def _step_dram_bytes(
+        self, cost: IterationCost, step, cached_fraction: float
+    ) -> int:
+        """DRAM traffic of one phase step under its residency annotation."""
+        dram_bytes = cost.activation_bytes
+        if step.weight_fetch == "cold":
+            dram_bytes += cost.weight_bytes
+        else:
+            dram_bytes += int(cost.weight_bytes * (1.0 - cached_fraction))
+        return dram_bytes
+
     def _compute_seconds(self, cost: IterationCost) -> tuple:
         """Iteration compute time with work split across DSCs.
 

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Union
 
-from repro.hw.mapping import iteration_workloads
+from repro.program.ir import IterationProgram
+from repro.program.lower import lower_program
 from repro.workloads.specs import ModelSpec
 
 
@@ -49,15 +51,24 @@ class Instruction:
 
 
 class ProgramBuilder:
-    """Generates the instruction stream for one denoising iteration."""
+    """Generates the instruction stream for one denoising iteration.
 
-    def __init__(self, spec: ModelSpec) -> None:
-        self.spec = spec
+    Instructions are generated from the lowered
+    :class:`~repro.program.ir.IterationProgram` — the same IR every
+    other backend prices — so the instruction stream and the analytic
+    cost model can never disagree about what work an iteration contains.
+    """
+
+    def __init__(self, spec: Union[ModelSpec, IterationProgram]) -> None:
+        if isinstance(spec, IterationProgram):
+            self.program = spec
+        else:
+            self.program = lower_program(spec, scale="paper")
 
     def build_iteration(self, sparse_phase: bool) -> list:
         """Program for one iteration (dense or sparse phase)."""
         program: list = []
-        for load in iteration_workloads(self.spec):
+        for load in self.program.ops:
             n = load.count
             program.append(
                 Instruction(Opcode.LOAD_INPUT, load.r, load.k, repeat=n)

@@ -4,17 +4,27 @@ Combines the engine models (SDUE / EPRE / CFSE / CAU) into the cycle,
 activity and traffic cost of one denoising iteration, for the dense and
 sparse phases of the FFN-Reuse schedule and the four ablation settings
 (Base / EP / FFNR / All).
+
+The DSC prices the IR: :meth:`DSCModel.iteration_cost` consumes an
+:class:`~repro.program.ir.IterationProgram` (the single lowering's
+output) and dispatches on each op's :class:`~repro.program.ir.OpKind`;
+it never walks the model structure itself. A bare
+:class:`~repro.workloads.specs.ModelSpec` is accepted for convenience
+and lowered through the same :func:`repro.program.lower.lower_program`
+entry point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Union
 
 from repro.hw.cfse import CFSEModel
 from repro.hw.epre import EPREModel
-from repro.hw.mapping import MMUL_BYTES_PER_ELEMENT, iteration_workloads
 from repro.hw.profile import SparsityProfile
 from repro.hw.sdue import SDUEModel
+from repro.program.ir import IterationProgram, MMUL_BYTES_PER_ELEMENT
+from repro.program.lower import lower_program
 from repro.workloads.specs import ModelSpec
 
 
@@ -23,7 +33,7 @@ class IterationCost:
     """Cycle/traffic cost of one denoising iteration on one DSC's engines.
 
     Cycle counts are totals (undivided); the accelerator model splits them
-    across DSCs.
+    across DSCs. ``per_kind_cycles`` keys SDUE cycles by IR op class.
     """
 
     sdue_cycles: int = 0
@@ -53,7 +63,7 @@ class IterationCost:
 
 
 class DSCModel:
-    """Cost model of one DSC (Fig. 10) over a model-spec workload."""
+    """Cost model of one DSC (Fig. 10) over a lowered iteration program."""
 
     def __init__(self) -> None:
         self.sdue = SDUEModel()
@@ -63,7 +73,7 @@ class DSCModel:
     # ------------------------------------------------------------------
     def iteration_cost(
         self,
-        spec: ModelSpec,
+        program: Union[IterationProgram, ModelSpec],
         profile: SparsityProfile,
         enable_ffn_reuse: bool,
         enable_eager_prediction: bool,
@@ -77,21 +87,23 @@ class DSCModel:
         """
         if batch < 1:
             raise ValueError("batch must be >= 1")
+        if isinstance(program, ModelSpec):
+            program = lower_program(program, scale="paper")
         cost = IterationCost()
         ep = enable_eager_prediction
         ffnr_sparse = enable_ffn_reuse and sparse_phase
 
-        for load in iteration_workloads(spec):
-            r = load.r * batch
-            k, c, count = load.k, load.c, load.count
+        for op in program.ops:
+            r = op.r * batch
+            k, c, count = op.k, op.c, op.count
             dense_cycles = self.sdue.dense_cycles(r, k, c) * count
-            weight_bytes = load.weight_bytes
+            weight_bytes = op.weight_bytes
             macs = r * k * c * count
             cost.macs_dense_equivalent += macs
 
-            kind = load.kind
+            kind = op.kind.value
             if kind == "qkv" and ep:
-                skip = profile.q_skip if load.name.endswith("q_proj") else profile.kv_skip
+                skip = profile.q_skip if op.name.endswith("q_proj") else profile.kv_skip
                 r_eff = max(1, int(round(r * (1.0 - skip))))
                 cycles = self.sdue.dense_cycles(r_eff, k, c) * count
                 # Rows skipped inside a 16-row tile save no cycles but are
@@ -102,13 +114,13 @@ class DSCModel:
                 cost.macs_computed += r_eff * k * c * count
                 # EPRE predicts Q and K in the log domain.
                 cost.epre_cycles += self.epre.prediction_cycles(r, k, c) * count
-            elif kind == "attention" and ep and "score" in load.name:
+            elif kind == "attention" and ep and "score" in op.name:
                 cycles = max(1, int(round(dense_cycles * profile.attn_remaining_ratio)))
                 cost.add_sdue(cycles, profile.attn_utilization, kind)
                 kept = 1.0 - profile.attn_sparsity
                 cost.macs_computed += int(macs * kept)
                 cost.epre_cycles += self.epre.prediction_cycles(r, k, c) * count
-            elif kind == "attention" and ep and "av" in load.name:
+            elif kind == "attention" and ep and "av" in op.name:
                 k_eff = max(1, int(round(k * (1.0 - profile.attn_sparsity))))
                 cycles = self.sdue.dense_cycles(r, k_eff, c) * count
                 cost.add_sdue(cycles, 1.0, kind)
@@ -133,26 +145,26 @@ class DSCModel:
 
             cost.weight_bytes += weight_bytes
 
-        cost.cfse_cycles = self._cfse_cycles(spec, profile, ep, ffnr_sparse, batch)
+        cost.cfse_cycles = self._cfse_cycles(program, profile, ep, ffnr_sparse, batch)
         if enable_ffn_reuse and not sparse_phase:
-            cost.cau_cycles = self._cau_cycles(spec, batch)
-        cost.activation_bytes = self._activation_bytes(spec, batch)
+            cost.cau_cycles = self._cau_cycles(program, batch)
+        cost.activation_bytes = self._activation_bytes(program, batch)
         return cost
 
     # ------------------------------------------------------------------
     def _cfse_cycles(
         self,
-        spec: ModelSpec,
+        program: IterationProgram,
         profile: SparsityProfile,
         ep: bool,
         ffnr_sparse: bool,
         batch: int,
     ) -> int:
-        t = spec.paper_tokens * batch
-        d = spec.paper_dim
-        hidden = spec.paper_ffn_mult * d
-        depth = spec.paper_depth
-        softmax_elems = t * spec.paper_tokens * batch  # per block, all heads
+        t = program.tokens * batch
+        d = program.dim
+        hidden = program.hidden
+        depth = program.depth
+        softmax_elems = t * program.tokens * batch  # per block, all heads
         if ep:
             softmax_elems = int(softmax_elems * (1.0 - profile.attn_sparsity))
         gelu_elems = t * hidden
@@ -165,19 +177,19 @@ class DSCModel:
         cycles += self.cfse.function_cycles("residual_add", t * d) * 3 * depth
         return cycles
 
-    def _cau_cycles(self, spec: ModelSpec, batch: int) -> int:
+    def _cau_cycles(self, program: IterationProgram, batch: int) -> int:
         # Classification streams one column per lane-group cycle while the
         # SDUE computes; CVG merge work is ~2 attempts per block pair.
-        hidden = spec.paper_ffn_mult * spec.paper_dim
-        row_tiles = -(-spec.paper_tokens * batch // 16)
+        hidden = program.hidden
+        row_tiles = -(-program.tokens * batch // 16)
         classify = hidden * row_tiles
         merge = (hidden // 16) * row_tiles * 2
-        return (classify + merge) * spec.paper_depth
+        return (classify + merge) * program.depth
 
-    def _activation_bytes(self, spec: ModelSpec, batch: int) -> int:
+    def _activation_bytes(self, program: IterationProgram, batch: int) -> int:
         # Latent in/out plus per-block spill through the GSC.
-        t = spec.paper_tokens * batch
-        d = spec.paper_dim
+        t = program.tokens * batch
+        d = program.dim
         latent = 2 * t * d * MMUL_BYTES_PER_ELEMENT
-        spill = 2 * t * d * MMUL_BYTES_PER_ELEMENT * spec.paper_depth
+        spill = 2 * t * d * MMUL_BYTES_PER_ELEMENT * program.depth
         return latent + spill

@@ -115,3 +115,24 @@ class EnergyModel:
         out = {c: self.component_energy_j(c) for c in self.power_mw}
         out["dram"] = self.dram_energy_j
         return out
+
+
+def apportion_op_class_energy(
+    component_energy_j: float, op_class_cycles: dict
+) -> dict:
+    """Split one component's energy across IR op classes by cycle share.
+
+    ``op_class_cycles`` maps op-class names (the
+    :class:`repro.program.ir.OpKind` values: ``qkv`` / ``attention`` /
+    ``ffn1`` / ``ffn2`` / ``etc``) to busy-cycle totals — the
+    ``per_kind_cycles`` accounting the DSC cost model keeps. Energy is
+    apportioned proportionally, so the breakdown sums to the component
+    total exactly (up to float addition).
+    """
+    total_cycles = sum(op_class_cycles.values())
+    if total_cycles <= 0:
+        return {kind: 0.0 for kind in op_class_cycles}
+    return {
+        kind: component_energy_j * cycles / total_cycles
+        for kind, cycles in op_class_cycles.items()
+    }

@@ -2,9 +2,11 @@
 
 Runs the top controller's instruction stream (:mod:`repro.hw.controller`)
 against the engine cycle models, producing per-engine cycle totals for one
-iteration. This is the microarchitectural cross-check for the analytic
-:class:`repro.hw.dsc.DSCModel`: both views of the same iteration must
-agree on SDUE cycles for the dense configuration.
+iteration. Instruction streams are generated from the lowered
+:class:`~repro.program.ir.IterationProgram`, so this is the
+microarchitectural cross-check for the analytic
+:class:`repro.hw.dsc.DSCModel`: both views of the same lowered iteration
+must agree on SDUE cycles for the dense configuration.
 """
 
 from __future__ import annotations

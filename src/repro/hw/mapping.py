@@ -1,130 +1,47 @@
-"""Data mapping: per-iteration MMUL workload extraction from a model spec.
+"""Data mapping: compatibility facade over the unified lowering pipeline.
 
-The accelerator simulator consumes a list of MMUL workloads (with Fig. 4's
-operation categories) derived from the *published* model dimensions, so
-tile counts and DRAM traffic match the scale the paper evaluates.
+The per-iteration MMUL workload extraction that used to live here moved
+to :mod:`repro.program.lower` — the repository's single model-structure
+traversal. This module keeps the historical ``repro.hw.mapping`` names
+importable for existing call sites; it contains **no** traversal of its
+own:
+
+- :class:`MMULWorkload` is the IR's :class:`~repro.program.ir.Op`;
+- :func:`transformer_block_workloads` / :func:`iteration_workloads` /
+  :func:`iteration_macs` delegate to the paper-scale lowering.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
+from repro.program.ir import (
+    MMUL_BYTES_PER_ELEMENT,
+    Op as MMULWorkload,
+    WEIGHT_BYTES_PER_ELEMENT,
+)
+from repro.program.lower import lower_program, spec_block_ops
 from repro.workloads.specs import ModelSpec
-
-#: Activation operand width on the SDUE datapath (INT12 padded to 16 bit
-#: for bank alignment).
-MMUL_BYTES_PER_ELEMENT = 2
-
-#: Weight storage width: INT12 packed densely in DRAM/GSC (1.5 bytes).
-WEIGHT_BYTES_PER_ELEMENT = 1.5
-
-
-@dataclass(frozen=True)
-class MMULWorkload:
-    """One MMUL of shape ``(r, k) @ (k, c)`` repeated ``count`` times."""
-
-    name: str
-    kind: str  # qkv | attention | ffn1 | ffn2 | proj | etc
-    r: int
-    k: int
-    c: int
-    count: int = 1
-    #: False for activation-by-activation MMULs (QK^T, probs @ V), which
-    #: fetch no weights from DRAM.
-    has_weights: bool = True
-
-    def __post_init__(self) -> None:
-        if min(self.r, self.k, self.c) <= 0 or self.count <= 0:
-            raise ValueError("workload dimensions must be positive")
-
-    @property
-    def macs(self) -> int:
-        return self.r * self.k * self.c * self.count
-
-    @property
-    def weight_bytes(self) -> int:
-        """Weight footprint per execution (INT12-packed)."""
-        if not self.has_weights:
-            return 0
-        return int(self.k * self.c * WEIGHT_BYTES_PER_ELEMENT * self.count)
 
 
 def transformer_block_workloads(spec: ModelSpec) -> list:
     """MMULs of one transformer block at paper scale."""
-    t = spec.paper_tokens
-    d = spec.paper_dim
-    heads = spec.paper_heads
-    head_dim = d // heads
-    hidden = spec.paper_ffn_mult * d
-    ffn1_cols = 2 * hidden if spec.activation == "geglu" else hidden
-
-    loads = [
-        MMULWorkload("q_proj", "qkv", t, d, d),
-        MMULWorkload("k_proj", "qkv", t, d, d),
-        MMULWorkload("v_proj", "qkv", t, d, d),
-        MMULWorkload("attn_score", "attention", t, head_dim, t, count=heads,
-                     has_weights=False),
-        MMULWorkload("attn_av", "attention", t, t, head_dim, count=heads,
-                     has_weights=False),
-        MMULWorkload("out_proj", "attention", t, d, d),
-        MMULWorkload("ffn_linear1", "ffn1", t, d, ffn1_cols),
-        MMULWorkload("ffn_linear2", "ffn2", t, hidden, d),
-    ]
-    ctx = spec.paper_context_tokens
-    if ctx:
-        loads.extend(
-            [
-                MMULWorkload("xattn_q_proj", "qkv", t, d, d),
-                MMULWorkload("xattn_k_proj", "qkv", ctx, d, d),
-                MMULWorkload("xattn_v_proj", "qkv", ctx, d, d),
-                MMULWorkload(
-                    "xattn_score", "attention", t, head_dim, ctx, count=heads,
-                    has_weights=False,
-                ),
-                MMULWorkload(
-                    "xattn_av", "attention", t, ctx, head_dim, count=heads,
-                    has_weights=False,
-                ),
-                MMULWorkload("xattn_out_proj", "attention", t, d, d),
-            ]
-        )
-    return loads
+    return spec_block_ops(spec, scale="paper")
 
 
 def iteration_workloads(spec: ModelSpec) -> list:
-    """All MMULs of one denoising iteration at paper scale.
-
-    Transformer blocks repeat ``paper_depth`` times; the non-transformer
-    remainder (ResBlocks, projections, VAE/conditioning amortized per
-    iteration) is modelled as one dense ``etc`` workload sized from the
-    spec's transformer share — matching Fig. 4's "Etc." category, which
-    EXION executes densely (no sparsity optimization applies there).
-    """
-    from dataclasses import replace
-
-    block_loads = transformer_block_workloads(spec)
-    loads = [
-        replace(load, count=load.count * spec.paper_depth)
-        for load in block_loads
-    ]
-    transformer_macs = sum(load.macs for load in loads)
-    share = spec.paper_transformer_share
-    if share < 1.0:
-        etc_macs = transformer_macs * (1.0 - share) / share
-        # Shape the remainder as square-ish MMUL tiles at the model width.
-        k = spec.paper_dim
-        c = spec.paper_dim
-        r = max(1, int(round(etc_macs / (k * c))))
-        loads.append(MMULWorkload("non_transformer", "etc", r, k, c))
-    return loads
+    """All MMULs of one denoising iteration at paper scale."""
+    return list(lower_program(spec, scale="paper").ops)
 
 
 def iteration_macs(spec: ModelSpec) -> dict:
     """MAC totals per Fig. 4 category for one iteration."""
-    totals = {"qkv": 0, "attention": 0, "ffn": 0, "etc": 0}
-    for load in iteration_workloads(spec):
-        kind = load.kind
-        if kind in ("ffn1", "ffn2"):
-            kind = "ffn"
-        totals[kind] += load.macs
-    return totals
+    return lower_program(spec, scale="paper").macs_by_kind()
+
+
+__all__ = [
+    "MMULWorkload",
+    "MMUL_BYTES_PER_ELEMENT",
+    "WEIGHT_BYTES_PER_ELEMENT",
+    "iteration_macs",
+    "iteration_workloads",
+    "transformer_block_workloads",
+]

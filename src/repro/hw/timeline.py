@@ -1,10 +1,12 @@
 """Per-iteration simulation timelines.
 
-``simulate_timeline`` mirrors :meth:`ExionAccelerator.simulate` but returns
-the per-iteration latency/energy/bound records, exposing the dense/sparse
-cadence the FFN-Reuse schedule creates — dense iterations are visibly
-longer (full FFN compute + CAU work + full weight fetch), which is the
-microarchitectural signature of the algorithm.
+``simulate_timeline`` mirrors :meth:`ExionAccelerator.simulate_plan` but
+returns the per-iteration latency/energy/bound records, exposing the
+dense/sparse cadence the FFN-Reuse schedule creates — dense iterations
+are visibly longer (full FFN compute + CAU work + full weight fetch),
+which is the microarchitectural signature of the algorithm. Like the
+accelerator, it prices a lowered :class:`~repro.program.ir.PhasePlan`
+rather than walking the model itself.
 """
 
 from __future__ import annotations
@@ -12,9 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.ffn_reuse import schedule_phases
 from repro.hw.accelerator import ExionAccelerator
 from repro.hw.profile import SparsityProfile, estimate_profile
+from repro.program.lower import lower_plan
 from repro.workloads.specs import ModelSpec
 
 
@@ -76,41 +78,28 @@ def simulate_timeline(
     """Per-iteration records of one simulated generation."""
     if profile is None:
         profile = estimate_profile(spec)
-    total_iters = iterations if iterations is not None else spec.total_iterations
-    if enable_ffn_reuse:
-        phases = schedule_phases(total_iters, spec.sparse_iters_n)
-    else:
-        phases = [True] * total_iters
-
-    costs = {
-        False: accelerator.dsc.iteration_cost(
-            spec, profile, enable_ffn_reuse, enable_eager_prediction,
-            sparse_phase=True, batch=batch,
-        ),
-        True: accelerator.dsc.iteration_cost(
-            spec, profile, enable_ffn_reuse, enable_eager_prediction,
-            sparse_phase=False, batch=batch,
-        ),
-    }
-    weight_bytes_iter = costs[True].weight_bytes
-    cached_fraction = min(
-        1.0, accelerator.gsc_bytes / max(weight_bytes_iter, 1)
+    plan = lower_plan(
+        spec,
+        enable_ffn_reuse=enable_ffn_reuse,
+        enable_eager_prediction=enable_eager_prediction,
+        iterations=iterations,
+        batch=batch,
     )
 
+    # One pricing substrate: the same per-phase costs, residency fraction
+    # and per-step DRAM math simulate_plan uses.
+    costs, cached_fraction = accelerator._phase_costs(plan, profile)
+
     timeline = Timeline(accelerator=accelerator.name, model=spec.name)
-    for index, is_dense in enumerate(phases):
-        cost = costs[is_dense]
+    for step in plan.steps:
+        cost = costs[step.is_dense]
         compute_s, _ = accelerator._compute_seconds(cost)
-        dram_bytes = cost.activation_bytes
-        if index == 0:
-            dram_bytes += cost.weight_bytes
-        else:
-            dram_bytes += int(cost.weight_bytes * (1.0 - cached_fraction))
+        dram_bytes = accelerator._step_dram_bytes(cost, step, cached_fraction)
         dram_s = accelerator.dram.transfer_seconds(dram_bytes)
         timeline.records.append(
             IterationRecord(
-                index=index,
-                is_dense=is_dense,
+                index=step.index,
+                is_dense=step.is_dense,
                 compute_s=compute_s,
                 dram_s=dram_s,
                 latency_s=max(compute_s, dram_s),

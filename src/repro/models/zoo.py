@@ -1,9 +1,16 @@
 """Benchmark model zoo: builds runnable networks from the specs.
 
-The seven models mirror the paper's Table I workloads at simulation scale.
-Weights are random but deterministic per seed; the sparsity phenomena EXION
-exploits (temporal redundancy across denoising iterations, concentrated
-attention rows) emerge from the denoising dynamics, not from training.
+The seven ``BENCHMARK_MODELS`` mirror the paper's Table I workloads at
+simulation scale. Weights are random but deterministic per seed; the
+sparsity phenomena EXION exploits (temporal redundancy across denoising
+iterations, concentrated attention rows) emerge from the denoising
+dynamics, not from training.
+
+Beyond Table I, :data:`repro.workloads.specs.EXTENDED_ORDER` registers
+extra scenarios (a video-DiT spec with temporal attention, an SDXL-class
+UNet). :func:`build_model` builds them like any other name — the lowering
+pipeline (:mod:`repro.program`) is what makes every backend price them
+with zero per-model code.
 """
 
 from __future__ import annotations

@@ -1,0 +1,276 @@
+"""Lowering: model spec + ablation config -> IR.
+
+This module is the repository's **only** model-structure traversal. A
+:class:`~repro.workloads.specs.ModelSpec` is lowered once into an
+:class:`~repro.program.ir.IterationProgram` (the ordered MMUL ops of one
+denoising iteration) and, with an ablation configuration, into a
+:class:`~repro.program.ir.PhasePlan` (the dense/sparse phase of every
+iteration under FFN-Reuse plus residency/sparsity annotations). Every
+backend — the EXION simulator, GPU roofline, Cambricon-D, Delta-DiT
+accounting, explore objectives, cluster service-time pricing — consumes
+these objects; none walks the model itself.
+
+Paper-scale programs use the published model dimensions (``paper_*``
+spec fields) so tile counts and DRAM traffic match the scale the paper
+evaluates; sim-scale programs use the runnable numpy dimensions and
+back the software baselines' compute accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+from typing import Optional
+
+from repro.core.ffn_reuse import schedule_phases
+from repro.program.ir import IterationProgram, Op, PhasePlan, PhaseStep
+from repro.workloads.specs import ModelSpec
+
+#: Context length of the sim-scale conditioning encoder
+#: (:class:`repro.models.conditioning.ConditioningEncoder` ``max_tokens``).
+SIM_CONTEXT_TOKENS = 16
+
+
+def block_ops(
+    tokens: int,
+    dim: int,
+    heads: int,
+    ffn_mult: int,
+    activation: str = "gelu",
+    context_tokens: Optional[int] = None,
+    temporal_frames: Optional[int] = None,
+) -> list:
+    """MMUL ops of one transformer block at the given dimensions.
+
+    ``context_tokens`` adds a cross-attention group; ``temporal_frames``
+    factorizes self-attention into per-frame spatial attention plus a
+    temporal-attention group attending across frames at each spatial
+    location (video-DiT-style blocks). All emitted ops carry standard
+    :class:`~repro.program.ir.OpKind` categories, so backends price
+    temporal attention with zero special-casing.
+    """
+    if dim % heads != 0:
+        raise ValueError(f"dim {dim} must divide into {heads} heads")
+    head_dim = dim // heads
+    hidden = ffn_mult * dim
+    ffn1_cols = 2 * hidden if activation == "geglu" else hidden
+
+    ops = [
+        Op("q_proj", "qkv", tokens, dim, dim),
+        Op("k_proj", "qkv", tokens, dim, dim),
+        Op("v_proj", "qkv", tokens, dim, dim),
+    ]
+    if temporal_frames:
+        if tokens % temporal_frames != 0:
+            raise ValueError(
+                f"temporal attention needs tokens ({tokens}) divisible by "
+                f"frames ({temporal_frames})"
+            )
+        spatial = tokens // temporal_frames
+        if spatial < 2 or temporal_frames < 2:
+            raise ValueError(
+                "temporal attention needs >= 2 frames and >= 2 spatial "
+                "tokens per frame"
+            )
+        # Spatial attention runs per frame; temporal attention attends
+        # across frames at each spatial location with its own projections.
+        ops.extend(
+            [
+                Op("attn_score", "attention", spatial, head_dim, spatial,
+                   count=heads * temporal_frames, has_weights=False),
+                Op("attn_av", "attention", spatial, spatial, head_dim,
+                   count=heads * temporal_frames, has_weights=False),
+                Op("out_proj", "attention", tokens, dim, dim),
+                Op("temporal_q_proj", "qkv", tokens, dim, dim),
+                Op("temporal_k_proj", "qkv", tokens, dim, dim),
+                Op("temporal_v_proj", "qkv", tokens, dim, dim),
+                Op("temporal_attn_score", "attention", temporal_frames,
+                   head_dim, temporal_frames, count=heads * spatial,
+                   has_weights=False),
+                Op("temporal_attn_av", "attention", temporal_frames,
+                   temporal_frames, head_dim, count=heads * spatial,
+                   has_weights=False),
+                Op("temporal_out_proj", "attention", tokens, dim, dim),
+            ]
+        )
+    else:
+        ops.extend(
+            [
+                Op("attn_score", "attention", tokens, head_dim, tokens,
+                   count=heads, has_weights=False),
+                Op("attn_av", "attention", tokens, tokens, head_dim,
+                   count=heads, has_weights=False),
+                Op("out_proj", "attention", tokens, dim, dim),
+            ]
+        )
+    ops.extend(
+        [
+            Op("ffn_linear1", "ffn1", tokens, dim, ffn1_cols),
+            Op("ffn_linear2", "ffn2", tokens, hidden, dim),
+        ]
+    )
+    if context_tokens:
+        ops.extend(
+            [
+                Op("xattn_q_proj", "qkv", tokens, dim, dim),
+                Op("xattn_k_proj", "qkv", context_tokens, dim, dim),
+                Op("xattn_v_proj", "qkv", context_tokens, dim, dim),
+                Op("xattn_score", "attention", tokens, head_dim,
+                   context_tokens, count=heads, has_weights=False),
+                Op("xattn_av", "attention", tokens, context_tokens,
+                   head_dim, count=heads, has_weights=False),
+                Op("xattn_out_proj", "attention", tokens, dim, dim),
+            ]
+        )
+    return ops
+
+
+def spec_block_ops(spec: ModelSpec, scale: str = "paper") -> list:
+    """One transformer block's ops lowered from a model spec."""
+    if scale == "paper":
+        return block_ops(
+            spec.paper_tokens,
+            spec.paper_dim,
+            spec.paper_heads,
+            spec.paper_ffn_mult,
+            activation=spec.activation,
+            context_tokens=spec.paper_context_tokens,
+            temporal_frames=spec.paper_temporal_frames,
+        )
+    if scale == "sim":
+        return block_ops(
+            spec.tokens,
+            spec.dim,
+            spec.num_heads,
+            spec.ffn_mult,
+            activation=spec.activation,
+            context_tokens=SIM_CONTEXT_TOKENS if spec.context_dim else None,
+            temporal_frames=None,
+        )
+    raise ValueError(f"scale must be 'paper' or 'sim', got {scale!r}")
+
+
+@lru_cache(maxsize=256)
+def lower_program(spec: ModelSpec, scale: str = "paper") -> IterationProgram:
+    """Lower one denoising iteration of ``spec`` into an IR program.
+
+    Transformer blocks repeat ``depth`` times (encoded as op ``count``);
+    at paper scale the non-transformer remainder (ResBlocks, projections,
+    VAE/conditioning amortized per iteration) is one dense ``etc`` op
+    sized from the spec's transformer share — matching Fig. 4's "Etc."
+    category, which EXION executes densely.
+    """
+    if scale == "paper":
+        tokens, dim = spec.paper_tokens, spec.paper_dim
+        heads, depth = spec.paper_heads, spec.paper_depth
+        ffn_mult = spec.paper_ffn_mult
+        context = spec.paper_context_tokens
+        frames = spec.paper_temporal_frames
+    elif scale == "sim":
+        tokens, dim = spec.tokens, spec.dim
+        heads, depth = spec.num_heads, spec.depth
+        ffn_mult = spec.ffn_mult
+        context = SIM_CONTEXT_TOKENS if spec.context_dim else None
+        frames = None
+    else:
+        raise ValueError(f"scale must be 'paper' or 'sim', got {scale!r}")
+
+    ops = [
+        replace(op, count=op.count * depth)
+        for op in spec_block_ops(spec, scale)
+    ]
+    if scale == "paper":
+        transformer_macs = sum(op.macs for op in ops)
+        share = spec.paper_transformer_share
+        if share < 1.0:
+            etc_macs = transformer_macs * (1.0 - share) / share
+            # Shape the remainder as square-ish MMUL tiles at model width.
+            r = max(1, int(round(etc_macs / (dim * dim))))
+            ops.append(Op("non_transformer", "etc", r, dim, dim))
+    return IterationProgram(
+        model=spec.name,
+        scale=scale,
+        tokens=tokens,
+        dim=dim,
+        heads=heads,
+        depth=depth,
+        ffn_mult=ffn_mult,
+        activation=spec.activation,
+        context_tokens=context,
+        temporal_frames=frames,
+        ops=tuple(ops),
+    )
+
+
+def lower_plan(
+    spec: ModelSpec,
+    config=None,
+    enable_ffn_reuse: bool = True,
+    enable_eager_prediction: bool = True,
+    iterations: Optional[int] = None,
+    batch: int = 1,
+    scale: str = "paper",
+) -> PhasePlan:
+    """Lower a full generation of ``spec`` into a phase plan.
+
+    ``config`` (an :class:`~repro.core.config.ExionConfig`) supplies the
+    ablation enable flags *and* the schedule-shaping knobs when given —
+    the FFN-Reuse period ``sparse_iters_n``, sparsity targets, top-k and
+    log-domain bits all come from the config, exactly as the runnable
+    pipeline would execute them; otherwise the two explicit flags apply
+    and the spec's Table I knobs shape and annotate the plan. The
+    dense/sparse cadence comes from
+    :func:`repro.core.ffn_reuse.schedule_phases` — the same phase math
+    the runnable FFN-Reuse manager uses, so priced and executed
+    schedules cannot drift.
+    """
+    if config is not None:
+        enable_ffn_reuse = config.enable_ffn_reuse
+        enable_eager_prediction = config.enable_eager_prediction
+        sparse_iters_n = config.sparse_iters_n
+        ffn_target_sparsity = config.ffn_target_sparsity
+        top_k_ratio = config.top_k_ratio
+        q_threshold = config.q_threshold
+        prediction_bits = config.prediction_bits
+    else:
+        sparse_iters_n = spec.sparse_iters_n
+        ffn_target_sparsity = spec.target_inter_sparsity
+        top_k_ratio = spec.top_k_ratio
+        q_threshold = spec.q_threshold
+        prediction_bits = 12
+    total = iterations if iterations is not None else spec.total_iterations
+    if enable_ffn_reuse:
+        phases = schedule_phases(total, sparse_iters_n)
+    else:
+        phases = [True] * total
+    steps = tuple(
+        PhaseStep(
+            index=index,
+            is_dense=is_dense,
+            weight_fetch="cold" if index == 0 else "resident",
+        )
+        for index, is_dense in enumerate(phases)
+    )
+    return PhasePlan(
+        program=lower_program(spec, scale),
+        steps=steps,
+        enable_ffn_reuse=enable_ffn_reuse,
+        enable_eager_prediction=enable_eager_prediction,
+        batch=batch,
+        sparse_iters_n=sparse_iters_n,
+        ffn_target_sparsity=ffn_target_sparsity,
+        intra_sparsity_target=spec.target_intra_sparsity,
+        top_k_ratio=top_k_ratio,
+        q_threshold=q_threshold,
+        prediction_bits=prediction_bits,
+    )
+
+
+__all__ = [
+    "SIM_CONTEXT_TOKENS",
+    "block_ops",
+    "lower_plan",
+    "lower_program",
+    "schedule_phases",
+    "spec_block_ops",
+]

@@ -8,10 +8,19 @@ from repro.workloads.metrics import (
     psnr,
     r_precision_proxy,
 )
-from repro.workloads.specs import BENCHMARK_ORDER, MODEL_SPECS, ModelSpec, get_spec
+from repro.workloads.specs import (
+    ALL_MODEL_ORDER,
+    BENCHMARK_ORDER,
+    EXTENDED_ORDER,
+    MODEL_SPECS,
+    ModelSpec,
+    get_spec,
+)
 
 __all__ = [
+    "ALL_MODEL_ORDER",
     "BENCHMARK_ORDER",
+    "EXTENDED_ORDER",
     "MODEL_SPECS",
     "ModelSpec",
     "beat_alignment_proxy",

@@ -258,3 +258,75 @@ class TestCommands:
         assert main(["bench", "--compare", str(baseline),
                      str(slower)]) == 1
         assert "REGRESSIONS" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_version_single_sourced_from_pyproject(self):
+        """repro.__version__ comes from the [project] table, one place."""
+        from pathlib import Path
+
+        import repro
+        from repro._version import _from_pyproject
+
+        pyproject = (
+            Path(__file__).resolve().parents[1] / "pyproject.toml"
+        ).read_text(encoding="utf-8")
+        assert f'version = "{repro.__version__}"' in pyproject
+        assert _from_pyproject() == repro.__version__
+
+    def test_regex_fallback_survives_reordered_project_table(self):
+        """The 3.10 parser must not stop at a bracketed value that
+        precedes the version key."""
+        from repro._version import _regex_version
+
+        text = (
+            '[build-system]\nrequires = ["setuptools"]\n\n'
+            '[project]\nname = "repro"\ndependencies = ["numpy"]\n'
+            'version = "9.9.9"\n\n[tool.ruff]\nline-length = 100\n'
+        )
+        assert _regex_version(text) == "9.9.9"
+        assert _regex_version("no project table here") is None
+
+
+class TestProgramCommand:
+    def test_program_defaults(self):
+        args = build_parser().parse_args(["program"])
+        assert args.model == "dit"
+        assert args.ablation == "all"
+        assert not args.json
+
+    def test_program_renders_table(self, capsys):
+        assert main(["program", "--model", "dit"]) == 0
+        out = capsys.readouterr().out
+        assert "IterationProgram dit" in out
+        assert "ffn_linear1" in out
+        assert "plan digest" in out
+
+    def test_program_json_is_canonical_plan(self, capsys):
+        import json as _json
+
+        from repro.program import lower_plan, plan_json
+        from repro.workloads.specs import get_spec
+
+        assert main(["program", "--model", "mld", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert out == plan_json(lower_plan(get_spec("mld")))
+        doc = _json.loads(out)
+        assert doc["program"]["model"] == "mld"
+
+    def test_program_ablation_shapes_plan(self, capsys):
+        import json as _json
+
+        assert main(["program", "--model", "dit", "--ablation", "base",
+                     "--iterations", "5", "--json"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["enable_ffn_reuse"] is False
+        assert doc["totals"]["iterations"] == 5
