@@ -10,8 +10,12 @@ BASELINE ?= benchmarks/baseline/BENCH_repro.json
 LATENCY_TOL ?= 0.10
 LATENCY_MIN_ABS ?= 0.25
 
-.PHONY: help test lint bench bench-smoke bench-compare cluster-smoke \
-	explore-smoke program-smoke smoke docs-check check
+# Coverage floor (percent) enforced on the numerically-critical packages.
+COV_FLOOR ?= 75
+COV_PKGS := --cov=repro.core --cov=repro.program --cov=repro.exec
+
+.PHONY: help test lint coverage bench bench-smoke bench-compare \
+	cluster-smoke explore-smoke program-smoke smoke docs-check check
 
 help:  ## list targets with their descriptions
 	@awk -F':.*## ' '/^[a-zA-Z][a-zA-Z0-9_-]*:.*## / \
@@ -22,6 +26,14 @@ test:  ## tier-1 test suite (the CI gate)
 
 lint:  ## ruff check (pyflakes + pycodestyle errors)
 	$(PYTHON) -m ruff check .
+
+coverage:  ## tier-1 tests with the coverage floor on core+program+exec
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null || \
+		{ echo "pytest-cov is not installed; run: pip install pytest-cov"; \
+		  exit 1; }
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q $(COV_PKGS) \
+		--cov-report=term-missing:skip-covered \
+		--cov-fail-under=$(COV_FLOOR)
 
 bench:  ## full structured bench run -> bench_results/
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench --run all \

@@ -70,6 +70,8 @@ def _cmd_program(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         batch=args.batch,
     )
+    if args.compile:
+        return _print_compiled_plan(plan, as_json=args.json)
     if args.json:
         print(plan_json(plan), end="")
         return 0
@@ -97,6 +99,55 @@ def _cmd_program(args: argparse.Namespace) -> int:
           + f"  total={program.total_macs:.3e}")
     print(f"weights/iter {program.weight_bytes / 1e6:.2f} MB (INT12 packed)")
     print(f"plan digest {plan_digest(plan)}")
+    return 0
+
+
+def _print_compiled_plan(plan, as_json: bool = False) -> int:
+    """Render ``compile_plan(plan).index_set_stats()`` (``--compile``)."""
+    import json as _json
+
+    from repro.program import compile_plan
+
+    compiled = compile_plan(plan)
+    stats = compiled.index_set_stats()
+    if as_json:
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+
+    shown = compiled.phases[:12]
+    rows = [[p.index, p.dense_step,
+             " ".join(str(s) for s in p.sparse_steps) or "-"]
+            for p in shown]
+    if len(compiled.phases) > len(shown):
+        rows.append(["...", f"({len(compiled.phases) - len(shown)} more)",
+                     ""])
+    print(format_table(
+        ["phase", "dense step", "sparse steps"],
+        rows,
+        title=(f"CompiledPlan {stats['model']} ({stats['scale']} scale): "
+               f"{stats['iterations']} iterations -> "
+               f"{stats['phases']} phases, "
+               f"{stats['tile_rows']}x{stats['tile_width']} tiles"),
+    ))
+    ffn = stats.get("ffn")
+    if ffn is not None:
+        print("ffn index sets: "
+              f"mask {ffn['mask_shape'][0]}x{ffn['mask_shape'][1]} "
+              f"x{ffn['masks_per_phase']}/phase, "
+              f"expected gather {ffn['expected_gather_size']} "
+              f"({percent(1.0 - ffn['expected_sparsity'])} kept), "
+              f"{ffn['tiles_per_mask']} tiles/mask, "
+              f"amortized over {ffn['sparse_steps_amortizing']} "
+              "sparse steps")
+    attn = stats.get("attention")
+    if attn is not None:
+        shape = "x".join(str(d) for d in attn["score_shape"])
+        print("attention index sets: "
+              f"scores {shape}, keep {attn['keep_per_row']}/row "
+              f"(expected keep {attn['expected_keep_size']}), "
+              f"{attn['cached_weight_operands']} cached weight operands")
+    if ffn is None and attn is None:
+        print("base ablation: no sparse index sets to precompute")
     return 0
 
 
@@ -689,6 +740,10 @@ def build_parser() -> argparse.ArgumentParser:
     prg.add_argument("--batch", type=int, default=1)
     prg.add_argument("--json", action="store_true",
                      help="emit the canonical byte-stable plan JSON")
+    prg.add_argument("--compile", action="store_true",
+                     help="compile the plan and dump its phase schedule "
+                          "and expected index-set sizes (with --json: "
+                          "the stats dict as JSON)")
     prg.set_defaults(func=_cmd_program)
 
     sim = sub.add_parser("simulate", help="hardware simulation vs GPU")

@@ -51,6 +51,29 @@ class Bitmask:
         return cls(np.ones((rows, cols), dtype=bool))
 
     @classmethod
+    def from_gather_indices(
+        cls, indices: np.ndarray, rows: int, cols: int
+    ) -> "Bitmask":
+        """Rebuild a mask from flat row-major gather indices.
+
+        Inverse of :meth:`to_gather_indices`: for any mask,
+        ``Bitmask.from_gather_indices(m.to_gather_indices(), m.rows,
+        m.cols) == m``.
+        """
+        if rows <= 0 or cols <= 0:
+            raise ValueError("mask dimensions must be positive")
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= rows * cols
+        ):
+            raise ValueError(
+                f"gather indices out of range for a {rows}x{cols} mask"
+            )
+        mask = np.zeros(rows * cols, dtype=bool)
+        mask[indices] = True
+        return cls(mask.reshape(rows, cols))
+
+    @classmethod
     def random(
         cls, rows: int, cols: int, sparsity: float, rng: np.random.Generator
     ) -> "Bitmask":
@@ -95,6 +118,17 @@ class Bitmask:
     def column(self, index: int) -> np.ndarray:
         """The boolean occupancy of one column."""
         return self.mask[:, index]
+
+    def to_gather_indices(self) -> np.ndarray:
+        """Flat row-major indices of the non-sparse elements.
+
+        This is the bitmask→gather conversion of the compiled executor:
+        the indices drive ``ravel()``-level gather/scatter of exactly the
+        elements the bitmask marks for recomputation, in ascending
+        (row-major) order. Round-trips through
+        :meth:`from_gather_indices`.
+        """
+        return np.flatnonzero(self.mask.ravel())
 
     # ------------------------------------------------------------------
     # operators

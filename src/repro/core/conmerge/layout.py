@@ -1,0 +1,102 @@
+"""Plan-time ConMerge tile layouts (compiled-executor half of III-B).
+
+The interpreted pipeline re-derives ConMerge compaction from raw bitmasks
+every time the hardware model asks; the compiled executor instead freezes
+one :class:`PhaseTileLayout` per (phase, block) when the phase's bitmask is
+produced at the dense iteration. The layout carries both views the rest of
+the stack consumes:
+
+- the per-tile **gather index sets** (flat row-major positions split by
+  SDUE tile) that drive step-time gather/scatter, and
+- the **ConMerge compaction summary** (condensed / physical columns,
+  merged blocks, utilization) the CLI and hardware model report.
+
+Nothing here runs per sparse step — that is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bitmask import Bitmask
+from repro.core.conmerge.cvg import conmerge_tiled
+from repro.core.sparsity import partition_indices_by_tiles
+
+
+@dataclass
+class PhaseTileLayout:
+    """Frozen tile-level layout of one phase bitmask."""
+
+    rows: int
+    cols: int
+    tile_rows: int
+    width: int
+    nnz: int
+    sparsity: float
+    tile_indices: dict = field(default_factory=dict)
+    condensed_columns: int = 0
+    physical_columns: int = 0
+    original_columns: int = 0
+    num_blocks: int = 0
+    utilization: float = 0.0
+    merge_cycles: int = 0
+
+    @property
+    def num_tiles(self) -> int:
+        """Tiles with at least one element to compute."""
+        return len(self.tile_indices)
+
+    @property
+    def remaining_column_ratio(self) -> float:
+        if self.original_columns == 0:
+            return 0.0
+        return self.physical_columns / self.original_columns
+
+    def summary(self) -> dict:
+        """Flat dict for CLI / report printing."""
+        return {
+            "rows": self.rows,
+            "cols": self.cols,
+            "nnz": self.nnz,
+            "sparsity": self.sparsity,
+            "occupied_tiles": self.num_tiles,
+            "condensed_columns": self.condensed_columns,
+            "physical_columns": self.physical_columns,
+            "original_columns": self.original_columns,
+            "merged_blocks": self.num_blocks,
+            "utilization": self.utilization,
+            "merge_cycles": self.merge_cycles,
+        }
+
+
+def compile_phase_layout(
+    mask: Bitmask,
+    tile_rows: int = 16,
+    width: int = 16,
+    sort: bool = True,
+) -> PhaseTileLayout:
+    """Freeze one phase bitmask into its SDUE tile layout.
+
+    Runs the full condense + merge pass once and splits the bitmask's
+    gather index set per ``(tile_rows, width)`` tile; both are then
+    replayed unchanged for every sparse iteration of the phase.
+    """
+    tiled = conmerge_tiled(mask, tile_rows=tile_rows, width=width, sort=sort)
+    tiles = partition_indices_by_tiles(
+        mask.to_gather_indices(), (mask.rows, mask.cols), tile_rows, width
+    )
+    return PhaseTileLayout(
+        rows=mask.rows,
+        cols=mask.cols,
+        tile_rows=tile_rows,
+        width=width,
+        nnz=mask.nnz,
+        sparsity=mask.sparsity,
+        tile_indices=tiles,
+        condensed_columns=tiled.condensed_columns,
+        physical_columns=tiled.physical_columns,
+        original_columns=tiled.original_columns,
+        num_blocks=tiled.num_blocks,
+        utilization=tiled.utilization,
+        merge_cycles=tiled.cycles,
+    )

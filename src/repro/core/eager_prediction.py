@@ -30,7 +30,13 @@ from typing import Optional
 import numpy as np
 
 from repro.core.config import ExionConfig
-from repro.core.logdomain import log_domain_matmul, log_domain_matmul_batched
+from repro.core.logdomain import (
+    LogOperand,
+    log_domain_matmul,
+    log_domain_matmul_batched,
+    log_domain_matmul_prepared,
+    prepare_log_operand,
+)
 from repro.core.sparsity import RunStats
 from repro.models.activations import softmax
 from repro.models.attention import AttentionTrace, MultiHeadAttention
@@ -212,6 +218,196 @@ class EagerPredictor:
             kv_cols_total=tk * heads,
         )
         return out, trace
+
+
+# ----------------------------------------------------------------------
+# compiled halves (repro.exec)
+# ----------------------------------------------------------------------
+@dataclass
+class CompiledPrediction:
+    """Plan-time half of eager prediction for one attention layer.
+
+    The Q/K weight matrices are constant across every iteration, so their
+    quantize + TS-LOD approximation (the dominant cost of
+    :func:`log_domain_matmul`) is hoisted out of the step loop.
+    """
+
+    wq_operand: LogOperand
+    wk_operand: LogOperand
+
+    @classmethod
+    def for_layer(
+        cls, layer: MultiHeadAttention, mode: str, bits: int
+    ) -> "CompiledPrediction":
+        return cls(
+            wq_operand=prepare_log_operand(layer.wq.weight, mode, bits),
+            wk_operand=prepare_log_operand(layer.wk.weight, mode, bits),
+        )
+
+
+def ep_decide(
+    predicted: np.ndarray, top_k_ratio: float, q_threshold: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :meth:`EagerPredictor._decide_head` over stacked heads.
+
+    Top-k selection, dominance gap and argmax all act along the last axis
+    only, so each head slice gets exactly the per-head decision. Returns
+    ``(keep, one_hot_rows, one_hot_cols)`` shaped ``(heads, tq, tk)``,
+    ``(heads, tq)``, ``(heads, tq)``.
+    """
+    tk = predicted.shape[-1]
+    keep_count = max(1, int(np.ceil(top_k_ratio * tk)))
+
+    keep = np.zeros(predicted.shape, dtype=bool)
+    if keep_count >= tk:
+        keep[:] = True
+    else:
+        top_idx = np.argpartition(
+            -predicted, keep_count - 1, axis=-1
+        )[..., :keep_count]
+        np.put_along_axis(keep, top_idx, True, axis=-1)
+
+    one_hot_cols = np.argmax(predicted, axis=-1)
+    if tk >= 2:
+        sorted_scores = np.sort(predicted, axis=-1)
+        gap = sorted_scores[..., -1] - sorted_scores[..., -2]
+        one_hot_rows = gap > q_threshold
+    else:
+        one_hot_rows = np.ones(predicted.shape[:-1], dtype=bool)
+    keep[one_hot_rows] = False
+    return keep, one_hot_rows, one_hot_cols
+
+
+def ep_attention_step(
+    layer: MultiHeadAttention,
+    x: np.ndarray,
+    context: Optional[np.ndarray],
+    pred: CompiledPrediction,
+    config: ExionConfig,
+    stats: RunStats,
+    collect_keepmasks: bool = False,
+    kv: Optional[tuple] = None,
+) -> np.ndarray:
+    """Step-time half of one EP attention layer, bit-identical to
+    :meth:`EagerPredictor._run` minus the trace.
+
+    Differences are purely plan-time hoists: the weight operands come
+    prepared in ``pred``; for self-attention the activation is quantized
+    once and shared between the Q and K predictions (both interpreted
+    calls quantize the same ``x``, deterministically); for cross-attention
+    the caller may pass ``kv = (kh_pred, k, v)`` computed once per
+    generation since the context never changes between iterations. Every
+    GEMM keeps the interpreted call's operand shapes so BLAS kernel
+    selection — and therefore the last ULP — matches.
+    """
+    kv_input = x if context is None else context
+    tq = x.shape[0]
+    tk = kv_input.shape[0]
+    heads = layer.num_heads
+    mode = config.lod_mode
+    bits = config.prediction_bits
+
+    x_operand = prepare_log_operand(x, mode, bits)
+    q_pred = log_domain_matmul_prepared(x_operand, pred.wq_operand)
+    if layer.wq.bias is not None:
+        q_pred = q_pred + layer.wq.bias
+    qh = layer.split_heads(q_pred)
+
+    if kv is not None:
+        kh, k, v = kv
+    else:
+        k_operand = (
+            x_operand if context is None
+            else prepare_log_operand(kv_input, mode, bits)
+        )
+        k_pred = log_domain_matmul_prepared(k_operand, pred.wk_operand)
+        if layer.wk.bias is not None:
+            k_pred = k_pred + layer.wk.bias
+        kh = layer.split_heads(k_pred)
+        k = layer.split_heads(layer.wk(kv_input))
+        v = layer.split_heads(layer.wv(kv_input))
+
+    predicted = np.einsum("htd,hsd->hts", qh, kh) * layer.scale
+    keep, one_hot_rows, one_hot_cols = ep_decide(
+        predicted, config.top_k_ratio, config.q_threshold
+    )
+
+    q = layer.split_heads(layer.wq(x))
+
+    exact = np.einsum("htd,hsd->hts", q, k) * layer.scale
+    masked = np.where(keep, exact, -np.inf)
+
+    has_keep = keep.any(axis=-1)  # (heads, tq)
+    oh_rows = one_hot_rows | ~has_keep
+    normal_rows = ~oh_rows
+    probs = np.zeros((heads, tq, tk))
+    if np.any(normal_rows):
+        probs[normal_rows] = softmax(masked[normal_rows], axis=-1)
+
+    hh, rr = np.nonzero(oh_rows)
+    cc = one_hot_cols[hh, rr]
+    probs[hh, rr, cc] = 1.0
+    attended = np.zeros((heads, tq, layer.head_dim))
+    attended[hh, rr] = v[hh, cc]
+    # Per-head row-subset GEMM: BLAS picks different kernels for different
+    # row counts, so a stacked batched matmul would drift by an ULP.
+    for h in range(heads):
+        nr = np.flatnonzero(normal_rows[h])
+        if nr.size:
+            attended[h, nr] = probs[h, nr] @ v[h]
+
+    out = layer.wo(layer.merge_heads(attended))
+
+    # Statistics: same arithmetic as EagerPredictor._run.
+    skipped = int(keep.size - keep.sum())
+    total_scores = heads * tq * tk
+    head_dim = layer.head_dim
+    dim_in = layer.wq.in_features
+    stats.attention_scores.add(
+        total_scores * head_dim, (total_scores - skipped) * head_dim
+    )
+    q_row_needed = (~one_hot_rows).any(axis=0)
+    kv_col_needed = keep.any(axis=(0, 1))
+    kv_col_needed[one_hot_cols[one_hot_rows]] = True
+    stats.q_projection.add(
+        tq * dim_in * layer.dim, int(q_row_needed.sum()) * dim_in * layer.dim
+    )
+    stats.kv_projection.add(
+        2 * tk * layer.wk.in_features * layer.dim,
+        2 * int(kv_col_needed.sum()) * layer.wk.in_features * layer.dim,
+    )
+    sparsity = skipped / total_scores if total_scores else 0.0
+    stats.attention_sparsities.append(sparsity)
+    stats.prediction_overhead_macs += (
+        (tq + tk) * dim_in * layer.dim + total_scores * head_dim
+    )
+    if collect_keepmasks:
+        stats.attention_keepmasks.append(keep)
+    return out
+
+
+def ep_cross_kv(
+    layer: MultiHeadAttention,
+    context: np.ndarray,
+    pred: CompiledPrediction,
+    config: ExionConfig,
+) -> tuple:
+    """Per-generation cross-attention constants for :func:`ep_attention_step`.
+
+    The conditioning context is fixed for a whole generation, so the
+    predicted-K, exact-K and exact-V head stacks it induces are too.
+    """
+    c_operand = prepare_log_operand(
+        context, config.lod_mode, config.prediction_bits
+    )
+    k_pred = log_domain_matmul_prepared(c_operand, pred.wk_operand)
+    if layer.wk.bias is not None:
+        k_pred = k_pred + layer.wk.bias
+    return (
+        layer.split_heads(k_pred),
+        layer.split_heads(layer.wk(context)),
+        layer.split_heads(layer.wv(context)),
+    )
 
 
 def _split_heads_batched(x: np.ndarray, num_heads: int) -> np.ndarray:

@@ -30,6 +30,7 @@ from repro.core.bitmask import Bitmask
 from repro.core.config import ExionConfig
 from repro.core.sparsity import RunStats
 from repro.core.thresholds import ThresholdTable, quantile_threshold
+from repro.models.activations import gelu as gelu_kernel
 from repro.models.ffn import FeedForward, FFNTrace
 
 
@@ -343,6 +344,107 @@ class BatchedFFNReuse(_PhaseControl):
     def state_for_block(self, block: int) -> Optional[_BatchedBlockState]:
         """Batched dense-iteration state (None before the first dense)."""
         return self._states[block]
+
+
+@dataclass
+class FFNPhaseState:
+    """Compiled per-(phase, block) FFN-Reuse artifacts.
+
+    Produced once at each dense iteration by :func:`ffn_dense_compile` and
+    replayed by :func:`ffn_sparse_step` for the following ``N`` sparse
+    iterations. Relative to the interpreted :class:`_BlockState`, the
+    bitmask is additionally converted to flat gather indices
+    (``Bitmask.to_gather_indices``) so the sparse step is pure
+    gather/scatter with no per-step mask scanning; for GEGLU FFNs the
+    value/gate element positions of the first linear's output are
+    precomputed too.
+    """
+
+    hidden_dense: np.ndarray  # non-linearity output at the dense iteration
+    mask: np.ndarray  # bool (tokens, hidden): 1 = recompute
+    gather_indices: np.ndarray  # flat row-major indices of the 1-bits
+    partial_sums: np.ndarray  # reused elements' 2nd-layer contribution + bias
+    threshold: float
+    nnz: int
+    sparsity: float
+    value_indices: Optional[np.ndarray] = None  # GEGLU: value half positions
+    gate_indices: Optional[np.ndarray] = None  # GEGLU: gate half positions
+
+    @property
+    def bitmask(self) -> Bitmask:
+        return Bitmask(self.mask)
+
+
+def ffn_dense_compile(
+    layer: FeedForward, x: np.ndarray, resolve_threshold
+) -> tuple[np.ndarray, FFNPhaseState]:
+    """Dense-iteration FFN plus phase-state compilation for one block.
+
+    ``resolve_threshold`` maps the hidden activations to the bitmask
+    threshold (mirroring :meth:`FFNReuse._resolve_threshold`, whose
+    quantile fallback needs the activations). The arithmetic is
+    element-for-element the interpreted :meth:`FFNReuse._run_dense` (the
+    differential-parity suite holds the two byte-identical); on top of it
+    the bitmask→gather conversion and GEGLU index maps are materialized
+    once for the whole sparse phase.
+    """
+    hidden = layer.nonlinear(layer.linear1(x))
+    out = layer.linear2(hidden)
+
+    threshold = float(resolve_threshold(hidden))
+    mask = np.abs(np.asarray(hidden, dtype=np.float64)) > threshold
+    reused = hidden * ~mask
+    partial = reused @ layer.linear2.weight
+    if layer.linear2.bias is not None:
+        partial = partial + layer.linear2.bias
+
+    gather = np.flatnonzero(mask.ravel())
+    value_idx = gate_idx = None
+    if layer.activation == "geglu":
+        # linear1 emits [value | gate] halves of width hidden_dim; map each
+        # recomputed hidden element to its two source elements.
+        rows = gather // layer.hidden_dim
+        cols = gather % layer.hidden_dim
+        width = layer.linear1.out_features
+        value_idx = rows * width + cols
+        gate_idx = value_idx + layer.hidden_dim
+    nnz = int(mask.sum())
+    return out, FFNPhaseState(
+        hidden_dense=hidden,
+        mask=mask,
+        gather_indices=gather,
+        partial_sums=partial,
+        threshold=threshold,
+        nnz=nnz,
+        sparsity=1.0 - nnz / mask.size,
+        value_indices=value_idx,
+        gate_indices=gate_idx,
+    )
+
+
+def ffn_sparse_step(
+    layer: FeedForward, x: np.ndarray, state: FFNPhaseState
+) -> np.ndarray:
+    """Sparse-iteration FFN through the compiled phase state.
+
+    Pure vectorized gather/scatter: the non-linearity runs only on the
+    gathered recompute set (elementwise, so each element equals the
+    interpreted full-matrix result bit for bit), the scatter overlays the
+    dense iteration's hidden state, and the 2nd-layer update accumulates
+    onto the precomputed partial sums.
+    """
+    pre = layer.linear1(x)
+    flat = pre.ravel()
+    if layer.activation == "geglu":
+        recomputed = flat[state.value_indices] * gelu_kernel(
+            flat[state.gate_indices]
+        )
+    else:
+        recomputed = gelu_kernel(flat[state.gather_indices])
+    hidden = state.hidden_dense.copy()
+    hidden.ravel()[state.gather_indices] = recomputed
+    updates = (hidden * state.mask) @ layer.linear2.weight
+    return state.partial_sums + updates
 
 
 def schedule_phases(total_iterations: int, sparse_n: int) -> list[bool]:

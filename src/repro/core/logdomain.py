@@ -129,6 +129,38 @@ def quantize_symmetric_batched(
     return ints, scales
 
 
+class LogOperand:
+    """Plan-time half of a log-domain matmul operand.
+
+    Quantizing and LOD-approximating an operand is a pure function of its
+    values and the ``(mode, bits)`` pair, so an operand reused across many
+    matmuls — a weight matrix, or an activation multiplied against several
+    weights — can be prepared once and replayed. ``prepare_log_operand``
+    performs exactly the per-call operand work of
+    :func:`log_domain_matmul`, so prepared and unprepared paths cannot
+    drift.
+    """
+
+    __slots__ = ("approx", "scale")
+
+    def __init__(self, approx: np.ndarray, scale: float) -> None:
+        self.approx = approx
+        self.scale = scale
+
+
+def prepare_log_operand(
+    x: np.ndarray, mode: str = "ts_lod", bits: int = 12
+) -> LogOperand:
+    """Quantize + LOD-approximate one matmul operand (cacheable)."""
+    ints, scale = quantize_symmetric(x, bits)
+    return LogOperand(approximate(ints, mode).astype(np.float64), scale)
+
+
+def log_domain_matmul_prepared(a: LogOperand, b: LogOperand) -> np.ndarray:
+    """Step-time half: multiply two prepared operands and rescale."""
+    return (a.approx @ b.approx) * (a.scale * b.scale)
+
+
 def log_domain_matmul(
     a: np.ndarray,
     b: np.ndarray,
@@ -145,11 +177,9 @@ def log_domain_matmul(
     The numerical output equals what the shift-based hardware produces;
     only the execution strategy differs.
     """
-    a_int, a_scale = quantize_symmetric(a, bits)
-    b_int, b_scale = quantize_symmetric(b, bits)
-    a_approx = approximate(a_int, mode).astype(np.float64)
-    b_approx = approximate(b_int, mode).astype(np.float64)
-    return (a_approx @ b_approx) * (a_scale * b_scale)
+    return log_domain_matmul_prepared(
+        prepare_log_operand(a, mode, bits), prepare_log_operand(b, mode, bits)
+    )
 
 
 def log_domain_matmul_batched(

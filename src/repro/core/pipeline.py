@@ -35,6 +35,13 @@ class GenerationResult:
 class ExionPipeline:
     """Runs a benchmark model with EXION's software optimizations.
 
+    ``compiled=True`` routes generation through the plan-compiled executor
+    (:class:`repro.exec.CompiledExecutor`): the phase schedule, log-domain
+    weight operands and timestep tables are precomputed once and each
+    iteration replays pure gather/scatter kernels. Results are
+    bit-identical to the interpreted path, which remains the reference
+    oracle (and the only path that can collect per-iteration traces).
+
     Example::
 
         model = build_model("dit")
@@ -49,12 +56,29 @@ class ExionPipeline:
         threshold_table: Optional[ThresholdTable] = None,
         activation_bits: Optional[int] = None,
         collect_masks: bool = False,
+        compiled: bool = False,
     ) -> None:
         self.model = model
         self.config = config
         self.threshold_table = threshold_table
         self.activation_bits = activation_bits
         self.collect_masks = collect_masks
+        self.compiled = compiled
+        self._compiled_executor = None
+
+    def _executor(self):
+        """The plan-compiled executor, built once per pipeline."""
+        if self._compiled_executor is None:
+            from repro.exec import CompiledExecutor
+
+            self._compiled_executor = CompiledExecutor(
+                self.model,
+                self.config,
+                threshold_table=self.threshold_table,
+                activation_bits=self.activation_bits,
+                collect_masks=self.collect_masks,
+            )
+        return self._compiled_executor
 
     def generate(
         self,
@@ -64,6 +88,12 @@ class ExionPipeline:
         collect_traces: bool = False,
     ) -> GenerationResult:
         """Generate one sample with the configured optimizations."""
+        if self.compiled and not collect_traces:
+            # Trace collection is an analysis feature of the interpreted
+            # path; asking for it falls back to the oracle.
+            return self._executor().generate(
+                seed=seed, prompt=prompt, class_label=class_label
+            )
         stats = RunStats()
         pipeline = self.model.make_pipeline()
 
@@ -125,7 +155,8 @@ class ExionPipeline:
 
             if vanilla:
                 # Vanilla disables every optimization, like generate_vanilla().
-                delegate = BatchedPipeline(self.model, self.config.ablation("base"))
+                delegate = BatchedPipeline(self.model, self.config.ablation("base"),
+                                           compiled=self.compiled)
             else:
                 delegate = BatchedPipeline(
                     self.model,
@@ -133,6 +164,7 @@ class ExionPipeline:
                     threshold_table=self.threshold_table,
                     activation_bits=self.activation_bits,
                     collect_masks=self.collect_masks,
+                    compiled=self.compiled,
                 )
             return delegate.generate_batch(
                 seeds, prompt=prompt, class_label=class_label

@@ -1,0 +1,40 @@
+"""Compiled execution of the generation hot path.
+
+The interpreted pipeline (:class:`repro.core.pipeline.ExionPipeline` with
+its executor hooks) re-derives per-step work every iteration: it
+re-quantizes constant weight matrices for the log-domain prediction,
+re-walks bitmasks, re-embeds deterministic timesteps and allocates trace
+objects nobody reads. :mod:`repro.exec` splits that work along the
+plan-time / step-time boundary the
+:class:`~repro.program.compiled.CompiledPlan` fixes:
+
+==============================  ========================================
+plan time (once)                step time (per iteration)
+==============================  ========================================
+timestep embeddings + adaLN     pure gather/scatter + GEMMs
+log-domain weight operands      shared activation quantization
+dense/sparse phase schedule     phase-state replay
+------------------------------  ----------------------------------------
+phase time (once per phase)
+------------------------------
+bitmask → gather conversion
+2nd-layer partial sums
+cross-attention K/V constants
+==============================  ========================================
+
+:class:`CompiledExecutor` runs one generation;
+:class:`CompiledBatchedExecutor` runs a micro-batch. Both are
+**bit-identical** to their interpreted counterparts — the interpreted
+path stays in the tree as the reference oracle, and the differential
+parity suite in ``tests/exec/`` holds samples and
+:class:`~repro.core.sparsity.RunStats` byte-for-byte equal across every
+model, ablation and seed it sweeps.
+"""
+
+from repro.exec.batched import CompiledBatchedExecutor
+from repro.exec.executor import CompiledExecutor
+
+__all__ = [
+    "CompiledBatchedExecutor",
+    "CompiledExecutor",
+]

@@ -1,0 +1,585 @@
+"""Batched compiled executor: one precompiled loop, many requests.
+
+Mirrors :class:`repro.serve.batched.BatchedPipeline` (itself the batched
+mirror of the sequential interpreted pipeline) with the same plan-time
+hoists as :class:`repro.exec.executor.CompiledExecutor`: timestep and
+adaLN tables, cached log-domain weight operands, per-phase FFN gather
+sets and per-batch cross-attention constants. Per-request results and
+statistics stay byte-identical to the interpreted batched path — which
+``tests/serve`` in turn holds byte-identical to sequential runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.bitmask import Bitmask
+from repro.core.config import ExionConfig
+from repro.core.eager_prediction import (
+    CompiledPrediction,
+    _merge_heads_batched,
+    _split_heads_batched,
+    ep_decide,
+)
+from repro.core.logdomain import approximate, quantize_symmetric_batched
+from repro.core.pipeline import GenerationResult
+from repro.core.sparsity import RunStats
+from repro.core.thresholds import ThresholdTable
+from repro.models.activations import gelu as gelu_kernel
+from repro.models.activations import softmax
+from repro.models.attention import MultiHeadAttention
+from repro.models.ffn import FeedForward
+from repro.models.network import NetworkType
+from repro.models.pipeline import DiffusionResult
+from repro.models.scheduler import DDPMScheduler
+from repro.models.transformer import TransformerBlock
+from repro.models.zoo import BenchmarkModel
+from repro.program.compiled import CompiledPlan, compile_plan
+from repro.program.lower import lower_plan
+from repro.serve.request import GenerationRequest
+
+from repro.exec.executor import build_prediction_tables, build_step_tables
+
+
+def _fake_quantize_batched(x: np.ndarray, bits: int) -> np.ndarray:
+    """Per-request activation fake-quantization (INT datapath emulation)."""
+    ints, scales = quantize_symmetric_batched(x, bits)
+    expand = (slice(None),) + (None,) * (x.ndim - 1)
+    return ints.astype(np.float64) * scales[expand]
+
+
+def _prepare_activation_batched(
+    x: np.ndarray, mode: str, bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-request quantize + LOD-approximate, as
+    :func:`repro.core.logdomain.log_domain_matmul_batched` does for its
+    activation operand."""
+    ints, scales = quantize_symmetric_batched(x, bits)
+    return approximate(ints, mode).astype(np.float64), scales
+
+
+def _predict_prepared(
+    a_approx: np.ndarray, a_scales: np.ndarray, weight
+) -> np.ndarray:
+    """Batched log-domain matmul against a cached weight operand."""
+    return (a_approx @ weight.approx) * (a_scales[:, None, None] * weight.scale)
+
+
+@dataclass
+class _BatchedFFNPhaseState:
+    """Compiled per-(phase, block) FFN artifacts for a whole micro-batch.
+
+    The gather/scatter index sets live in the batch-wide flat index space
+    of the ``(batch, tokens, hidden)`` mask, so one gather serves every
+    request regardless of each request's own nnz.
+    """
+
+    hidden_dense: np.ndarray
+    mask: np.ndarray
+    gather_indices: np.ndarray
+    partial_sums: np.ndarray
+    nnz_per_request: np.ndarray
+    value_indices: Optional[np.ndarray] = None
+    gate_indices: Optional[np.ndarray] = None
+
+
+@dataclass
+class _BatchState:
+    """Mutable per-run_batch state threaded through the step loop."""
+
+    stats: list
+    ffn_states: list
+    is_dense: bool = True
+    phase: int = 0
+    context: Optional[np.ndarray] = None
+    cross_kv: dict = field(default_factory=dict)
+    cross_exact_kv: dict = field(default_factory=dict)
+
+
+class CompiledBatchedExecutor:
+    """Runs micro-batches of requests through a precompiled plan."""
+
+    def __init__(
+        self,
+        model: BenchmarkModel,
+        config: ExionConfig,
+        threshold_table: Optional[ThresholdTable] = None,
+        activation_bits: Optional[int] = None,
+        collect_masks: bool = False,
+        compiled_plan: Optional[CompiledPlan] = None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.threshold_table = threshold_table
+        self.activation_bits = activation_bits
+        self.collect_masks = collect_masks
+        if compiled_plan is None:
+            compiled_plan = compile_plan(
+                lower_plan(model.spec, config=config, scale="sim")
+            )
+        self.compiled_plan = compiled_plan
+        self._timesteps, self._t_embeds, self._adaln_tables = (
+            build_step_tables(model)
+        )
+        self._preds = build_prediction_tables(model.network, config)
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def run_batch(
+        self, requests: Sequence[GenerationRequest]
+    ) -> list[GenerationResult]:
+        """One sample per request, bit-identical to
+        ``BatchedPipeline.run_batch()``."""
+        requests = list(requests)
+        if not requests:
+            raise ValueError("need at least one request")
+        batch = len(requests)
+        network = self.model.network
+        scheduler = self.model.scheduler
+        pipeline = self.model.make_pipeline()
+        if hasattr(scheduler, "reset"):
+            scheduler.reset()
+
+        rngs = [np.random.default_rng(r.seed) for r in requests]
+        x = np.stack(
+            [rng.standard_normal((network.tokens, network.dim)) for rng in rngs]
+        )
+        embeddings: dict = {}
+        contexts = []
+        for r in requests:
+            key = (r.prompt, r.class_label)
+            if key not in embeddings:
+                embeddings[key] = pipeline.embed_prompt(r.prompt, r.class_label)
+            contexts.append(embeddings[key])
+        context = None
+        if any(c is not None for c in contexts):
+            context = np.stack(contexts)
+
+        state = _BatchState(
+            stats=[RunStats() for _ in requests],
+            ffn_states=[None] * network.num_transformer_blocks,
+        )
+        if context is not None and self.activation_bits is not None:
+            state.context = _fake_quantize_batched(
+                context, self.activation_bits
+            )
+        else:
+            state.context = context
+
+        count_iterations = self.config.enable_ffn_reuse
+        timesteps = self._timesteps
+        for step in self.compiled_plan.steps:
+            state.phase = step.phase
+            state.is_dense = step.is_dense
+            if count_iterations:
+                for stats in state.stats:
+                    if step.is_dense:
+                        stats.dense_iterations += 1
+                    else:
+                        stats.sparse_iterations += 1
+            eps = self._forward(x, step.index, context, state)
+            i = step.index
+            t = int(timesteps[i])
+            prev_t = int(timesteps[i + 1]) if i + 1 < len(timesteps) else -1
+            if isinstance(scheduler, DDPMScheduler):
+                x = np.stack([
+                    scheduler.step(eps[b], t, x[b], prev_t=prev_t, rng=rngs[b])
+                    for b in range(batch)
+                ])
+            else:
+                x = scheduler.step(eps, t, x, prev_t=prev_t, rng=None)
+
+        return [
+            GenerationResult(
+                sample=x[b].copy(),
+                stats=state.stats[b],
+                diffusion=DiffusionResult(
+                    sample=x[b].copy(), iterations=len(timesteps)
+                ),
+            )
+            for b in range(batch)
+        ]
+
+    # ------------------------------------------------------------------
+    # network forward (mirrors BatchedPipeline._forward)
+    # ------------------------------------------------------------------
+    def _forward(
+        self,
+        x: np.ndarray,
+        step_index: int,
+        raw_context: Optional[np.ndarray],
+        state: _BatchState,
+    ) -> np.ndarray:
+        network = self.model.network
+        if network.network_type is NetworkType.TRANSFORMER_ONLY:
+            h = x
+            for i, block in enumerate(network.blocks):
+                h = self._block(block, h, raw_context, step_index, i, state)
+            return network.out_proj(network.final_norm(h))
+
+        half = max(1, network.depth // 2)
+        t_embed = self._t_embeds[step_index]
+        h = x
+        for i in range(half):
+            h = self._stage(i, h, t_embed, raw_context, step_index, state)
+        skip = h
+        h = self._downsample(h)
+        for i in range(half, network.depth):
+            h = self._stage(i, h, t_embed, raw_context, step_index, state)
+        h = self._upsample(h, network.tokens) + skip
+        return network.out_proj(network.final_norm(h))
+
+    def _stage(
+        self,
+        index: int,
+        h: np.ndarray,
+        t_embed: np.ndarray,
+        raw_context: Optional[np.ndarray],
+        step_index: int,
+        state: _BatchState,
+    ) -> np.ndarray:
+        network = self.model.network
+        if network.resblocks:
+            resblock = network.resblocks[index]
+            h = np.stack([
+                network._apply_resblock(resblock, h[b], t_embed)
+                for b in range(h.shape[0])
+            ])
+        return self._block(
+            network.blocks[index], h, raw_context, step_index, index, state
+        )
+
+    def _downsample(self, h: np.ndarray) -> np.ndarray:
+        network = self.model.network
+        tokens = h.shape[1]
+        if tokens % 2 == 1:
+            h = np.concatenate([h, h[:, -1:]], axis=1)
+        pooled = 0.5 * (h[:, 0::2] + h[:, 1::2])
+        return network.down_proj(pooled)
+
+    def _upsample(self, h: np.ndarray, target_tokens: int) -> np.ndarray:
+        network = self.model.network
+        up = np.repeat(h, 2, axis=1)[:, :target_tokens]
+        if up.shape[1] < target_tokens:
+            pad = np.repeat(up[:, -1:], target_tokens - up.shape[1], axis=1)
+            up = np.concatenate([up, pad], axis=1)
+        return network.up_proj(up)
+
+    def _block(
+        self,
+        block: TransformerBlock,
+        x: np.ndarray,
+        raw_context: Optional[np.ndarray],
+        step_index: int,
+        block_index: int,
+        state: _BatchState,
+    ) -> np.ndarray:
+        h = block.norm1(x)
+        table = self._adaln_tables[block_index]
+        if table is not None:
+            shift, scale, gate = table[step_index]
+            h = h * (1.0 + scale) + shift
+        else:
+            gate = 1.0
+        x = x + gate * self._attention(block.self_attn, h, None, block_index,
+                                       state)
+        if block.cross_attn is not None and raw_context is not None:
+            assert block.norm_cross is not None
+            x = x + self._attention(
+                block.cross_attn, block.norm_cross(x), state.context,
+                block_index, state,
+            )
+        x = x + self._ffn(block.ffn, block.norm2(x), block_index, state)
+        return x
+
+    # ------------------------------------------------------------------
+    # attention
+    # ------------------------------------------------------------------
+    def _attention(
+        self,
+        layer: MultiHeadAttention,
+        x: np.ndarray,
+        context: Optional[np.ndarray],
+        block_index: int,
+        state: _BatchState,
+    ) -> np.ndarray:
+        if self.activation_bits is not None:
+            x = _fake_quantize_batched(x, self.activation_bits)
+        if not self._preds:
+            if context is None:
+                return _attention_exact_batched(layer, x, x)
+            cached = state.cross_exact_kv.get(block_index)
+            if cached is None:
+                cached = (
+                    _split_heads_batched(layer.wk(context), layer.num_heads),
+                    _split_heads_batched(layer.wv(context), layer.num_heads),
+                )
+                state.cross_exact_kv[block_index] = cached
+            return _attention_exact_batched(layer, x, context, kv=cached)
+        which = "self" if context is None else "cross"
+        pred = self._preds[block_index][which]
+        kv = None
+        if context is not None:
+            kv = state.cross_kv.get(block_index)
+            if kv is None:
+                kv = _ep_cross_kv_batched(layer, context, pred, self.config)
+                state.cross_kv[block_index] = kv
+        return _ep_attention_step_batched(
+            layer, x, context, pred, self.config, state.stats,
+            collect_keepmasks=self.collect_masks, kv=kv,
+        )
+
+    # ------------------------------------------------------------------
+    # FFN
+    # ------------------------------------------------------------------
+    def _ffn(
+        self,
+        layer: FeedForward,
+        x: np.ndarray,
+        block_index: int,
+        state: _BatchState,
+    ) -> np.ndarray:
+        if self.activation_bits is not None:
+            x = _fake_quantize_batched(x, self.activation_bits)
+        if not self.config.enable_ffn_reuse:
+            return layer.linear2(layer.nonlinear(layer.linear1(x)))
+        tokens = x.shape[1]
+        if state.is_dense or state.ffn_states[block_index] is None:
+            out, phase_state = self._ffn_dense_compile(
+                layer, x, block_index, state.phase
+            )
+            state.ffn_states[block_index] = phase_state
+            full_l1 = layer.linear1.macs(tokens)
+            full_l2 = layer.linear2.macs(tokens)
+            for b, stats in enumerate(state.stats):
+                stats.ffn_layer1.add(full_l1, full_l1)
+                stats.ffn_layer2.add(full_l2, full_l2)
+                if self.collect_masks:
+                    stats.ffn_bitmasks.append(Bitmask(phase_state.mask[b]))
+            return out
+        phase_state = state.ffn_states[block_index]
+        out = _ffn_sparse_step_batched(layer, x, phase_state)
+        elements = phase_state.mask.shape[1] * phase_state.mask.shape[2]
+        l1_cols_per_hidden = layer.linear1.out_features // layer.hidden_dim
+        full_l1 = layer.linear1.macs(tokens)
+        full_l2 = layer.linear2.macs(tokens)
+        for b, stats in enumerate(state.stats):
+            nnz_b = int(phase_state.nnz_per_request[b])
+            stats.ffn_layer1.add(full_l1, nnz_b * layer.dim * l1_cols_per_hidden)
+            stats.ffn_layer2.add(full_l2, nnz_b * layer.dim)
+            stats.ffn_sparsities.append(1.0 - nnz_b / elements)
+        return out
+
+    def _resolve_thresholds(
+        self, hidden: np.ndarray, block: int, dense_index: int
+    ) -> np.ndarray:
+        """Mirror of :meth:`BatchedFFNReuse._resolve_thresholds`."""
+        batch = hidden.shape[0]
+        if self.config.ffn_threshold is not None:
+            return np.full(batch, self.config.ffn_threshold)
+        if self.threshold_table is not None:
+            stored = self.threshold_table.get(dense_index, block)
+            if stored is not None:
+                return np.full(batch, stored)
+        mags = np.abs(hidden.reshape(batch, -1).astype(np.float64))
+        return np.quantile(mags, self.config.ffn_target_sparsity, axis=1)
+
+    def _ffn_dense_compile(
+        self, layer: FeedForward, x: np.ndarray, block: int, phase: int
+    ) -> tuple[np.ndarray, _BatchedFFNPhaseState]:
+        """Batched :func:`repro.core.ffn_reuse.ffn_dense_compile`."""
+        batch = x.shape[0]
+        hidden = layer.nonlinear(layer.linear1(x))
+        out = layer.linear2(hidden)
+
+        thresholds = self._resolve_thresholds(hidden, block, phase)
+        mask = np.abs(hidden) > thresholds[:, None, None]
+        reused = hidden * ~mask
+        partial = reused @ layer.linear2.weight
+        if layer.linear2.bias is not None:
+            partial = partial + layer.linear2.bias
+
+        gather = np.flatnonzero(mask.ravel())
+        value_idx = gate_idx = None
+        if layer.activation == "geglu":
+            per_request = mask.shape[1] * mask.shape[2]
+            b_idx = gather // per_request
+            rem = gather % per_request
+            rows = rem // layer.hidden_dim
+            cols = rem % layer.hidden_dim
+            width = layer.linear1.out_features
+            value_idx = (b_idx * mask.shape[1] + rows) * width + cols
+            gate_idx = value_idx + layer.hidden_dim
+        return out, _BatchedFFNPhaseState(
+            hidden_dense=hidden,
+            mask=mask,
+            gather_indices=gather,
+            partial_sums=partial,
+            nnz_per_request=mask.reshape(batch, -1).sum(axis=1),
+            value_indices=value_idx,
+            gate_indices=gate_idx,
+        )
+
+
+def _ffn_sparse_step_batched(
+    layer: FeedForward, x: np.ndarray, state: _BatchedFFNPhaseState
+) -> np.ndarray:
+    """Batched :func:`repro.core.ffn_reuse.ffn_sparse_step`: one flat
+    gather/scatter over the whole micro-batch."""
+    pre = layer.linear1(x)
+    flat = pre.ravel()
+    if layer.activation == "geglu":
+        recomputed = flat[state.value_indices] * gelu_kernel(
+            flat[state.gate_indices]
+        )
+    else:
+        recomputed = gelu_kernel(flat[state.gather_indices])
+    hidden = state.hidden_dense.copy()
+    hidden.ravel()[state.gather_indices] = recomputed
+    updates = (hidden * state.mask) @ layer.linear2.weight
+    return state.partial_sums + updates
+
+
+def _attention_exact_batched(
+    layer: MultiHeadAttention,
+    x: np.ndarray,
+    kv_input: np.ndarray,
+    kv: Optional[tuple] = None,
+) -> np.ndarray:
+    """Dense batched attention with optional cross-attention K/V cache."""
+    q = _split_heads_batched(layer.wq(x), layer.num_heads)
+    if kv is not None:
+        k, v = kv
+    else:
+        k = _split_heads_batched(layer.wk(kv_input), layer.num_heads)
+        v = _split_heads_batched(layer.wv(kv_input), layer.num_heads)
+    scores = np.einsum("bhtd,bhsd->bhts", q, k) * layer.scale
+    probs = softmax(scores, axis=-1)
+    attended = np.einsum("bhts,bhsd->bhtd", probs, v)
+    return layer.wo(_merge_heads_batched(attended))
+
+
+def _ep_cross_kv_batched(
+    layer: MultiHeadAttention,
+    context: np.ndarray,
+    pred: CompiledPrediction,
+    config: ExionConfig,
+) -> tuple:
+    """Per-batch cross-attention constants for the batched EP step."""
+    c_approx, c_scales = _prepare_activation_batched(
+        context, config.lod_mode, config.prediction_bits
+    )
+    k_pred = _predict_prepared(c_approx, c_scales, pred.wk_operand)
+    if layer.wk.bias is not None:
+        k_pred = k_pred + layer.wk.bias
+    return (
+        _split_heads_batched(k_pred, layer.num_heads),
+        _split_heads_batched(layer.wk(context), layer.num_heads),
+        _split_heads_batched(layer.wv(context), layer.num_heads),
+    )
+
+
+def _ep_attention_step_batched(
+    layer: MultiHeadAttention,
+    x: np.ndarray,
+    context: Optional[np.ndarray],
+    pred: CompiledPrediction,
+    config: ExionConfig,
+    batch_stats: list,
+    collect_keepmasks: bool = False,
+    kv: Optional[tuple] = None,
+) -> np.ndarray:
+    """Batched EP attention step, bit-identical to
+    :meth:`BatchedEagerPredictor.run` with cached weight operands."""
+    kv_input = x if context is None else context
+    batch, tq, _ = x.shape
+    tk = kv_input.shape[1]
+    heads = layer.num_heads
+    mode, bits = config.lod_mode, config.prediction_bits
+
+    a_approx, a_scales = _prepare_activation_batched(x, mode, bits)
+    q_pred = _predict_prepared(a_approx, a_scales, pred.wq_operand)
+    if layer.wq.bias is not None:
+        q_pred = q_pred + layer.wq.bias
+    qh = _split_heads_batched(q_pred, heads)
+
+    if kv is not None:
+        kh, k, v = kv
+    else:
+        # Self-attention: both predictions quantize the same x, so the
+        # prepared operand is shared (the interpreted path re-derives the
+        # identical quantization).
+        k_pred = _predict_prepared(a_approx, a_scales, pred.wk_operand)
+        if layer.wk.bias is not None:
+            k_pred = k_pred + layer.wk.bias
+        kh = _split_heads_batched(k_pred, heads)
+        k = _split_heads_batched(layer.wk(kv_input), heads)
+        v = _split_heads_batched(layer.wv(kv_input), heads)
+
+    predicted = np.einsum("bhtd,bhsd->bhts", qh, kh) * layer.scale
+    keep, one_hot_rows, one_hot_cols = ep_decide(
+        predicted, config.top_k_ratio, config.q_threshold
+    )
+
+    q = _split_heads_batched(layer.wq(x), heads)
+    exact = np.einsum("bhtd,bhsd->bhts", q, k) * layer.scale
+    masked = np.where(keep, exact, -np.inf)
+
+    has_keep = keep.any(axis=-1)
+    oh_rows = one_hot_rows | ~has_keep
+    normal_rows = ~oh_rows
+    probs = np.zeros((batch, heads, tq, tk))
+    if np.any(normal_rows):
+        probs[normal_rows] = softmax(masked[normal_rows], axis=-1)
+
+    bb, hh, rr = np.nonzero(oh_rows)
+    cc = one_hot_cols[bb, hh, rr]
+    probs[bb, hh, rr, cc] = 1.0
+    attended = np.zeros((batch, heads, tq, layer.head_dim))
+    attended[bb, hh, rr] = v[bb, hh, cc]
+    # Row-subset GEMMs preserved per (request, head): BLAS kernel choice
+    # depends on the row count, and with it the last ULP.
+    for b in range(batch):
+        for h in range(heads):
+            nr = np.flatnonzero(normal_rows[b, h])
+            if nr.size:
+                attended[b, h, nr] = probs[b, h, nr] @ v[b, h]
+
+    out = layer.wo(_merge_heads_batched(attended))
+
+    # Statistics: same arithmetic as BatchedEagerPredictor._record_stats.
+    total_scores = heads * tq * tk
+    head_dim = layer.head_dim
+    dim_in = layer.wq.in_features
+    kept = keep.reshape(batch, -1).sum(axis=1)
+    q_rows_needed = (~one_hot_rows).any(axis=1).sum(axis=1)
+    kv_needed = keep.any(axis=(1, 2))
+    bb, hh, rr = np.nonzero(one_hot_rows)
+    kv_needed[bb, one_hot_cols[bb, hh, rr]] = True
+    kv_cols_needed = kv_needed.sum(axis=1)
+
+    for b, stats in enumerate(batch_stats):
+        skipped = total_scores - int(kept[b])
+        stats.attention_scores.add(
+            total_scores * head_dim, (total_scores - skipped) * head_dim
+        )
+        stats.q_projection.add(
+            tq * dim_in * layer.dim,
+            int(q_rows_needed[b]) * dim_in * layer.dim,
+        )
+        stats.kv_projection.add(
+            2 * tk * layer.wk.in_features * layer.dim,
+            2 * int(kv_cols_needed[b]) * layer.wk.in_features * layer.dim,
+        )
+        sparsity = skipped / total_scores if total_scores else 0.0
+        stats.attention_sparsities.append(sparsity)
+        stats.prediction_overhead_macs += (
+            (tq + tk) * dim_in * layer.dim + total_scores * head_dim
+        )
+        if collect_keepmasks:
+            stats.attention_keepmasks.append(keep[b].copy())
+    return out

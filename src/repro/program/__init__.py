@@ -31,6 +31,14 @@ Quickstart::
 or from the command line: ``python -m repro program --model dit --json``.
 """
 
+from repro.program.compiled import (
+    CompiledPlan,
+    CompiledStep,
+    PhaseSegment,
+    TILE_ROWS,
+    TILE_WIDTH,
+    compile_plan,
+)
 from repro.program.encode import (
     canonical_json,
     op_from_dict,
@@ -61,16 +69,22 @@ from repro.program.lower import (
 )
 
 __all__ = [
+    "CompiledPlan",
+    "CompiledStep",
     "IterationProgram",
     "MMUL_BYTES_PER_ELEMENT",
     "Op",
     "OpKind",
     "PhasePlan",
+    "PhaseSegment",
     "PhaseStep",
     "SIM_CONTEXT_TOKENS",
+    "TILE_ROWS",
+    "TILE_WIDTH",
     "WEIGHT_BYTES_PER_ELEMENT",
     "block_ops",
     "canonical_json",
+    "compile_plan",
     "lower_plan",
     "lower_program",
     "op_from_dict",

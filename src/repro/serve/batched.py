@@ -99,12 +99,29 @@ class BatchedPipeline:
         threshold_table: Optional[ThresholdTable] = None,
         activation_bits: Optional[int] = None,
         collect_masks: bool = False,
+        compiled: bool = False,
     ) -> None:
         self.model = model
         self.config = config
         self.threshold_table = threshold_table
         self.activation_bits = activation_bits
         self.collect_masks = collect_masks
+        self.compiled = compiled
+        self._compiled_executor = None
+
+    def _executor(self):
+        """The plan-compiled batched executor, built once per pipeline."""
+        if self._compiled_executor is None:
+            from repro.exec import CompiledBatchedExecutor
+
+            self._compiled_executor = CompiledBatchedExecutor(
+                self.model,
+                self.config,
+                threshold_table=self.threshold_table,
+                activation_bits=self.activation_bits,
+                collect_masks=self.collect_masks,
+            )
+        return self._compiled_executor
 
     # ------------------------------------------------------------------
     # entry points
@@ -151,6 +168,8 @@ class BatchedPipeline:
         requests = list(requests)
         if not requests:
             raise ValueError("need at least one request")
+        if self.compiled:
+            return self._executor().run_batch(requests)
         batch = len(requests)
         network = self.model.network
         scheduler = self.model.scheduler

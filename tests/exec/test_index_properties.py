@@ -1,0 +1,158 @@
+"""Property-based tests for the index-set conversions the executor uses.
+
+The compiled executor never re-tests a bitmask at step time — it runs on
+flat gather-index sets produced once per phase by the conversions in
+:mod:`repro.core.bitmask` and :mod:`repro.core.sparsity`. If any of these
+drops, duplicates or reorders an index, the executor silently recomputes
+the wrong elements, so the round-trip laws are pinned here over random
+masks plus the degenerate corners (empty, full, single element) and
+non-dividing tile boundaries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmask import Bitmask
+from repro.core.sparsity import (
+    indices_to_mask,
+    mask_to_indices,
+    partition_indices_by_tiles,
+)
+
+
+@st.composite
+def masks(draw, max_rows=40, max_cols=40):
+    rows = draw(st.integers(1, max_rows))
+    cols = draw(st.integers(1, max_cols))
+    density = draw(st.floats(0.0, 1.0))
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    return rng.random((rows, cols)) < density
+
+
+class TestBitmaskGatherRoundTrip:
+    @given(masks())
+    @settings(max_examples=80, deadline=None)
+    def test_mask_to_gather_to_mask(self, mask):
+        bm = Bitmask(mask)
+        indices = bm.to_gather_indices()
+        assert indices.dtype == np.int64
+        assert np.all(np.diff(indices) > 0)  # ascending, no duplicates
+        assert indices.size == bm.nnz
+        back = Bitmask.from_gather_indices(indices, bm.rows, bm.cols)
+        assert np.array_equal(back.mask, bm.mask)
+
+    @given(masks())
+    @settings(max_examples=40, deadline=None)
+    def test_gather_indices_agree_with_sparsity_module(self, mask):
+        assert np.array_equal(Bitmask(mask).to_gather_indices(),
+                              mask_to_indices(mask))
+
+    @pytest.mark.parametrize("rows,cols", ((1, 1), (1, 7), (16, 16), (3, 5)))
+    def test_empty_and_full_masks(self, rows, cols):
+        empty = Bitmask(np.zeros((rows, cols), dtype=bool))
+        assert empty.to_gather_indices().size == 0
+        back = Bitmask.from_gather_indices(np.array([], dtype=np.int64),
+                                           rows, cols)
+        assert np.array_equal(back.mask, empty.mask)
+
+        full = Bitmask(np.ones((rows, cols), dtype=bool))
+        indices = full.to_gather_indices()
+        assert np.array_equal(indices, np.arange(rows * cols))
+        assert np.array_equal(
+            Bitmask.from_gather_indices(indices, rows, cols).mask, full.mask
+        )
+
+    @given(st.integers(1, 30), st.integers(1, 30), st.integers(0, 899))
+    @settings(max_examples=60, deadline=None)
+    def test_single_element_mask(self, rows, cols, flat):
+        flat = flat % (rows * cols)
+        mask = np.zeros(rows * cols, dtype=bool)
+        mask[flat] = True
+        bm = Bitmask(mask.reshape(rows, cols))
+        assert list(bm.to_gather_indices()) == [flat]
+        back = Bitmask.from_gather_indices([flat], rows, cols)
+        assert np.array_equal(back.mask, bm.mask)
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Bitmask.from_gather_indices([4], 2, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            Bitmask.from_gather_indices([-1], 2, 2)
+
+
+class TestSparsityIndexRoundTrip:
+    @given(masks())
+    @settings(max_examples=80, deadline=None)
+    def test_mask_indices_mask(self, mask):
+        indices = mask_to_indices(mask)
+        back = indices_to_mask(indices, mask.shape)
+        assert back.dtype == bool
+        assert np.array_equal(back, mask)
+
+    @given(masks(max_rows=6, max_cols=6))
+    @settings(max_examples=40, deadline=None)
+    def test_indices_mask_indices(self, mask):
+        indices = mask_to_indices(mask)
+        again = mask_to_indices(indices_to_mask(indices, mask.shape))
+        assert np.array_equal(again, indices)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            indices_to_mask(np.array([0]), (0, 4))
+        with pytest.raises(ValueError):
+            indices_to_mask(np.array([8]), (2, 4))
+
+
+class TestTilePartition:
+    @given(masks(), st.integers(1, 17), st.integers(1, 17))
+    @settings(max_examples=80, deadline=None)
+    def test_partition_is_exact(self, mask, tile_rows, tile_cols):
+        """Tiles are disjoint, correctly binned, ascending, and their
+        union round-trips to the original mask."""
+        indices = mask_to_indices(mask)
+        tiles = partition_indices_by_tiles(indices, mask.shape,
+                                           tile_rows, tile_cols)
+        total = 0
+        cols = mask.shape[1]
+        for (tr, tc), tile_indices in tiles.items():
+            total += tile_indices.size
+            assert tile_indices.size > 0  # empty tiles are omitted
+            assert np.all(np.diff(tile_indices) > 0)
+            r = tile_indices // cols
+            c = tile_indices % cols
+            assert np.all(r // tile_rows == tr)
+            assert np.all(c // tile_cols == tc)
+        assert total == indices.size  # disjoint: sizes add up exactly
+        if tiles:
+            union = np.sort(np.concatenate(list(tiles.values())))
+            assert np.array_equal(union, indices)
+            rebuilt = indices_to_mask(union, mask.shape)
+            assert np.array_equal(rebuilt, mask)
+        else:
+            assert indices.size == 0
+
+    def test_non_dividing_tile_boundaries(self):
+        """A 5x7 mask with 2x3 tiles: ragged edge tiles keep their
+        reduced extent and every element lands in the right tile."""
+        mask = np.ones((5, 7), dtype=bool)
+        tiles = partition_indices_by_tiles(mask_to_indices(mask),
+                                           mask.shape, 2, 3)
+        assert set(tiles) == {(tr, tc) for tr in range(3) for tc in range(3)}
+        # Bottom-right ragged tile: one row (4), one column (6).
+        assert list(tiles[(2, 2)]) == [4 * 7 + 6]
+        # A full interior tile covers two disjoint row segments —
+        # non-contiguous in flat order.
+        interior = tiles[(0, 0)]
+        assert list(interior) == [0, 1, 2, 7, 8, 9]
+        assert np.any(np.diff(interior) > 1)
+
+    def test_tile_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            partition_indices_by_tiles(np.array([0]), (4,), 2, 2)
+        with pytest.raises(ValueError, match="positive"):
+            partition_indices_by_tiles(np.array([0]), (4, 4), 0, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            partition_indices_by_tiles(np.array([16]), (4, 4), 2, 2)

@@ -330,3 +330,37 @@ class TestProgramCommand:
         doc = _json.loads(capsys.readouterr().out)
         assert doc["enable_ffn_reuse"] is False
         assert doc["totals"]["iterations"] == 5
+
+    def test_program_compile_renders_schedule(self, capsys):
+        assert main(["program", "--model", "dit", "--iterations", "10",
+                     "--compile"]) == 0
+        out = capsys.readouterr().out
+        assert "CompiledPlan dit" in out
+        assert "10 iterations -> 4 phases" in out
+        assert "16x16 tiles" in out
+        assert "ffn index sets:" in out
+        assert "attention index sets:" in out
+
+    def test_program_compile_truncates_long_schedules(self, capsys):
+        assert main(["program", "--model", "dit", "--ablation", "base",
+                     "--compile"]) == 0
+        out = capsys.readouterr().out
+        assert "(88 more)" in out  # 100 dense-only phases, 12 shown
+        assert "no sparse index sets" in out
+
+    def test_program_compile_json_matches_compiled_plan(self, capsys):
+        import json as _json
+
+        from repro.core.config import ExionConfig
+        from repro.program import compile_plan, lower_plan
+        from repro.workloads.specs import get_spec
+
+        assert main(["program", "--model", "mld", "--compile",
+                     "--json"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        plan = lower_plan(get_spec("mld"),
+                          config=ExionConfig.for_model("mld"))
+        assert doc == compile_plan(plan).index_set_stats()
+        assert doc["ffn"]["mask_shape"] == [
+            plan.program.tokens, plan.program.hidden
+        ]
