@@ -12,10 +12,12 @@ LATENCY_MIN_ABS ?= 0.25
 
 # Coverage floor (percent) enforced on the numerically-critical packages.
 COV_FLOOR ?= 75
-COV_PKGS := --cov=repro.core --cov=repro.program --cov=repro.exec
+COV_PKGS := --cov=repro.core --cov=repro.program --cov=repro.exec \
+	--cov=repro.serve --cov=repro.cluster
 
 .PHONY: help test lint coverage bench bench-smoke bench-compare \
-	cluster-smoke explore-smoke program-smoke smoke docs-check check
+	cluster-smoke serve-smoke explore-smoke program-smoke smoke \
+	docs-check check
 
 help:  ## list targets with their descriptions
 	@awk -F':.*## ' '/^[a-zA-Z][a-zA-Z0-9_-]*:.*## / \
@@ -49,6 +51,13 @@ bench-compare:  ## diff bench_results/ against the committed baseline
 		--latency-min-abs $(LATENCY_MIN_ABS) \
 		$(BASELINE) $(BENCH_OUT)/BENCH_repro.json
 
+serve-smoke:  ## continuous-batching goodput bench + CLI demo run
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench \
+		--run serve_continuous --out $(BENCH_OUT)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro serve --continuous \
+		--requests 6 --batch-size 4 --iterations 6 \
+		--tenants alice=2,bob=1 --quantum 1.0
+
 cluster-smoke:  ## fleet-simulation scaling bench + CLI demo run
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench \
 		--run cluster_scaling --out $(BENCH_OUT)
@@ -67,7 +76,7 @@ program-smoke:  ## lowering-pipeline parity bench + CLI plan inspection
 		--run program_lowering --out $(BENCH_OUT)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro program --model dit
 
-smoke: bench-smoke cluster-smoke explore-smoke program-smoke  ## all *-smoke targets
+smoke: bench-smoke serve-smoke cluster-smoke explore-smoke program-smoke  ## all *-smoke targets
 
 docs-check:  ## docstring + __all__ export lint
 	$(PYTHON) tools/docs_check.py

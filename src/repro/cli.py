@@ -183,6 +183,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_weights(spec):
+    """``"alice=2,bob=1"`` (or bare names, weight 1.0) -> weight dict."""
+    if not spec:
+        return None
+    weights = {}
+    for item in spec.split(","):
+        name, _, value = item.strip().partition("=")
+        if not name:
+            raise SystemExit(f"bad --tenants entry {item!r}")
+        weights[name] = float(value) if value else 1.0
+    return weights
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
@@ -190,50 +203,97 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import BatchingPolicy, ExionServer
 
     config = ExionConfig.for_model(args.model).ablation(args.ablation)
-    server = ExionServer(
-        args.model,
-        config=config,
-        policy=BatchingPolicy(max_batch_size=args.batch_size,
-                              max_wait_s=args.max_wait),
-        model_seed=args.model_seed,
-        total_iterations=args.iterations,
-        calibrate=args.calibrate,
-        calibration_seed=args.calibration_seed,
-    )
-    for i in range(args.requests):
-        server.submit(
-            seed=args.seed + i,
-            prompt=args.prompt,
-            class_label=args.class_label,
+    if args.continuous:
+        from repro.serve import ContinuousPolicy, ContinuousServer
+
+        weights = _parse_tenant_weights(args.tenants)
+        server = ContinuousServer(
+            args.model,
+            config=config,
+            policy=ContinuousPolicy(
+                max_batch_size=args.batch_size,
+                quantum=args.quantum,
+                preempt=not args.no_preempt,
+                aging_s=args.aging,
+                timeout_s=args.timeout,
+            ),
+            tenant_weights=weights,
+            model_seed=args.model_seed,
+            total_iterations=args.iterations,
+            calibrate=args.calibrate,
+            calibration_seed=args.calibration_seed,
         )
-    # Serve through step() so the batching policy governs dispatch: full
-    # batches go immediately, a partial tail waits out --max-wait.
-    results = []
-    while True:
-        served = server.step()
-        if served:
-            results.extend(served)
-        elif len(server.queue) == 0:
-            break
-        else:
-            time.sleep(min(0.05, max(args.max_wait, 0.001)))
-    results.sort(key=lambda r: r.request_id)
+        tenants = sorted(weights) if weights else ["default"]
+        for i in range(args.requests):
+            deadline = (
+                time.perf_counter() + args.deadline
+                if args.deadline is not None else None
+            )
+            server.submit(
+                seed=args.seed + i,
+                prompt=args.prompt,
+                class_label=args.class_label,
+                tenant=tenants[i % len(tenants)],
+                deadline_s=deadline,
+            )
+        results = server.run_until_drained()
+    else:
+        server = ExionServer(
+            args.model,
+            config=config,
+            policy=BatchingPolicy(max_batch_size=args.batch_size,
+                                  max_wait_s=args.max_wait),
+            model_seed=args.model_seed,
+            total_iterations=args.iterations,
+            calibrate=args.calibrate,
+            calibration_seed=args.calibration_seed,
+        )
+        for i in range(args.requests):
+            server.submit(
+                seed=args.seed + i,
+                prompt=args.prompt,
+                class_label=args.class_label,
+            )
+        # Serve through step() so the batching policy governs dispatch:
+        # full batches go immediately, a partial tail waits --max-wait.
+        results = []
+        while True:
+            served = server.step()
+            if served:
+                results.extend(served)
+            elif len(server.queue) == 0:
+                break
+            else:
+                time.sleep(min(0.05, max(args.max_wait, 0.001)))
+        results.sort(key=lambda r: r.request_id)
     report = server.report()
 
     rows = [
-        [r.request_id, r.request.seed, r.batch_size,
+        [r.request_id, r.request.seed, r.request.tenant, r.batch_size,
          f"{r.result.stats.ffn_output_sparsity * 100:.1f}%",
          f"{r.result.stats.attention_output_sparsity * 100:.1f}%"]
         for r in results
     ]
     print(format_table(
-        ["request", "seed", "batch", "FFN sparsity", "attn sparsity"],
+        ["request", "seed", "tenant", "batch", "FFN sparsity",
+         "attn sparsity"],
         rows,
-        title=f"Served {args.model} ablation={args.ablation}",
+        title=f"Served {args.model} ablation={args.ablation}"
+              + (" (continuous)" if args.continuous else ""),
     ))
-    print(f"batches={report.batches_served} "
-          f"mean_batch={report.mean_batch_size:.2f} "
-          f"throughput={report.samples_per_s:.2f} samples/s")
+    if not args.continuous:
+        print(f"batches={report.batches_served} "
+              f"mean_batch={report.mean_batch_size:.2f} "
+              f"throughput={report.samples_per_s:.2f} samples/s")
+    else:
+        # "batches" are per-iteration ticks in continuous mode, so the
+        # drain-style requests/batch ratio would read as nonsense here;
+        # occupancy is the meaningful utilization figure.
+        print(f"throughput={report.samples_per_s:.2f} samples/s")
+        print(f"ticks={report.ticks} "
+              f"mean_occupancy={report.mean_occupancy:.2f} "
+              f"joins={report.joins} preemptions={report.preemptions} "
+              f"expired={report.requests_expired}")
 
     if args.compare_sequential and args.requests > 0:
         from repro.core.pipeline import ExionPipeline
@@ -310,13 +370,26 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         max_queue_depth=args.max_queue_depth,
     )
+    if args.continuous:
+        from repro.serve import ContinuousPolicy
+
+        policy = ContinuousPolicy(
+            max_batch_size=args.batch_size,
+            quantum=args.quantum,
+            preempt=not args.no_preempt,
+            aging_s=args.aging,
+        )
+    else:
+        policy = BatchingPolicy(max_batch_size=args.batch_size,
+                                max_wait_s=args.max_wait)
     replicas = build_replicas(
         args.replicas,
         accelerator=args.accelerator,
-        policy=BatchingPolicy(max_batch_size=args.batch_size,
-                              max_wait_s=args.max_wait),
+        policy=policy,
         execute=args.execute,
         execute_iterations=args.iterations,
+        continuous=args.continuous,
+        tenant_weights=_parse_tenant_weights(args.tenants),
         # Price the same (possibly truncated) schedule that is executed,
         # so reported service times match the claimed samples.
         iterations=args.iterations,
@@ -630,6 +703,27 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--calibrate", action="store_true",
                      help="use an offline-calibrated threshold table")
     srv.add_argument("--compare-sequential", action="store_true")
+    srv.add_argument("--continuous", action="store_true",
+                     help="iteration-level continuous batching: requests "
+                          "join/leave the live batch at dense-phase "
+                          "boundaries instead of drain-and-refill")
+    srv.add_argument("--quantum", type=float, default=1.0,
+                     help="fair-queuing deficit credit per round "
+                          "(continuous mode)")
+    srv.add_argument("--aging", type=float, default=None,
+                     help="promote a queued request one priority class "
+                          "per this many seconds waited (continuous)")
+    srv.add_argument("--no-preempt", action="store_true",
+                     help="disable priority preemption at boundaries")
+    srv.add_argument("--timeout", type=float, default=None,
+                     help="drop queued requests older than this "
+                          "(continuous mode)")
+    srv.add_argument("--deadline", type=float, default=None,
+                     help="relative deadline applied to every request "
+                          "(continuous mode SLA)")
+    srv.add_argument("--tenants", default=None,
+                     help="tenant weights 'alice=2,bob=1'; requests are "
+                          "assigned round-robin (continuous mode)")
     srv.set_defaults(func=_cmd_serve)
 
     clu = sub.add_parser(
@@ -677,6 +771,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "hw model and, with --execute, actually run")
     clu.add_argument("--json", default=None,
                      help="write the canonical ClusterReport JSON here")
+    clu.add_argument("--continuous", action="store_true",
+                     help="replicas run iteration-level continuous "
+                          "batching instead of drain-and-refill")
+    clu.add_argument("--quantum", type=float, default=1.0,
+                     help="fair-queuing deficit credit per round "
+                          "(continuous mode)")
+    clu.add_argument("--aging", type=float, default=None,
+                     help="priority aging interval in simulated seconds "
+                          "(continuous mode)")
+    clu.add_argument("--no-preempt", action="store_true",
+                     help="disable priority preemption at boundaries")
+    clu.add_argument("--tenants", default=None,
+                     help="tenant fair-queuing weights 'alice=2,bob=1' "
+                          "(continuous mode)")
     clu.set_defaults(func=_cmd_cluster)
 
     exp = sub.add_parser(

@@ -45,6 +45,7 @@ and ``python -m repro cluster`` for the CLI.
 
 from repro.cluster.replica import (
     ACCELERATORS,
+    ContinuousReplica,
     Dispatch,
     DroppedRequest,
     Replica,
@@ -87,6 +88,7 @@ __all__ = [
     "ClusterReport",
     "ClusterRequest",
     "ClusterSimulator",
+    "ContinuousReplica",
     "Dispatch",
     "DiurnalProcess",
     "DroppedRequest",

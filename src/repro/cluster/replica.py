@@ -89,6 +89,7 @@ class ServiceTimeModel:
         self.cold_start = cold_start
         self._profiles: dict = {}
         self._latencies: dict = {}
+        self._tick_latencies: dict = {}
 
     @property
     def name(self) -> str:
@@ -130,18 +131,75 @@ class ServiceTimeModel:
         """Cold-start cost: one vanilla (Base ablation) batch-1 generation."""
         return self.latency_s(model, "base", 1)
 
+    def tick_latency_s(
+        self, model: str, ablation: str, batch_size: int, kind: str
+    ) -> float:
+        """Simulated latency of **one denoising iteration** of a batch.
+
+        The continuous scheduler dispatches per-iteration ticks, so it
+        needs per-tick prices rather than whole-generation latencies.
+        These come from differencing plan lowerings at adjacent
+        iteration counts (the phase schedule is strictly periodic with
+        period ``sparse_iters_n + 1``, so three prices cover every tick):
+
+        - ``"cold"`` — the first iteration of a generation: the 1-iteration
+          plan, carrying the dense FFN compile plus the per-generation
+          fixed work (conditioning, VAE share);
+        - ``"dense"`` — a steady-state dense iteration (phase recompile):
+          ``t(P+1) - t(P)``;
+        - ``"sparse"`` — a sparse iteration riding the compiled phase:
+          ``t(2) - t(1)``.
+
+        Without FFN-Reuse every iteration is dense and ``"dense"`` prices
+        the uniform steady-state iteration.
+        """
+        if kind not in ("cold", "dense", "sparse"):
+            raise ValueError(f"unknown tick kind {kind!r}")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        key = (model, ablation, batch_size)
+        if key not in self._tick_latencies:
+            from repro.program import lower_plan
+
+            config = ExionConfig.for_model(model).ablation(ablation)
+            spec = get_spec(model)
+
+            def t(iterations: int) -> float:
+                plan = lower_plan(
+                    spec, config=config, iterations=iterations,
+                    batch=batch_size,
+                )
+                return self.accelerator.simulate_plan(
+                    plan, self._profile(model)
+                ).latency_s
+
+            cold = t(1)
+            period = (
+                config.sparse_iters_n + 1 if config.enable_ffn_reuse else 1
+            )
+            if period == 1:
+                dense = max(0.0, t(2) - cold)
+                sparse = dense  # no sparse iterations exist; same price
+            else:
+                sparse = max(0.0, t(2) - cold)
+                dense = max(0.0, t(period + 1) - t(period))
+            self._tick_latencies[key] = {
+                "cold": cold, "dense": dense, "sparse": sparse,
+            }
+        return self._tick_latencies[key][kind]
+
 
 @dataclass(frozen=True)
 class DroppedRequest:
-    """A queued request abandoned at its SLO timeout.
+    """A queued request abandoned at its SLO timeout or deadline.
 
-    Only timeout expiry produces records (admission control rejects at
-    the door and is tallied as a bare counter on the replica).
+    Only expiry produces records (admission control rejects at the door
+    and is tallied as a bare counter on the replica).
     """
 
     model: str
     ablation: str
-    reason: str  # always "timeout" today
+    reason: str  # "timeout" or "deadline"
     dropped_at_s: float
     waited_s: float = 0.0
 
@@ -213,6 +271,13 @@ class Replica:
     def accelerator_name(self) -> str:
         return self.service_model.name
 
+    def policy_doc(self) -> dict:
+        """Scenario fingerprint of this replica's batching policy."""
+        return {
+            "max_batch_size": self.policy.max_batch_size,
+            "max_wait_s": self.policy.max_wait_s,
+        }
+
     # ------------------------------------------------------------------
     # routing metrics
     # ------------------------------------------------------------------
@@ -278,14 +343,15 @@ class Replica:
             seed=request.seed,
             prompt=request.prompt,
             class_label=request.class_label,
+            tenant=getattr(request, "tenant", "default"),
+            priority=getattr(request, "priority", None),
+            deadline_s=getattr(request, "deadline_s", None),
         )
         self.warm_keys.add(request.pipeline_key)
         return True
 
     def expire(self, now: float, timeout_s: Optional[float]) -> list:
-        """Lazily drop queued requests whose wait exceeded the timeout."""
-        if timeout_s is None:
-            return []
+        """Drop queued requests past the SLO timeout or their deadline."""
         dropped = []
         for key, server in sorted(self.servers.items()):
             model, ablation = key
@@ -294,7 +360,12 @@ class Replica:
                 DroppedRequest(
                     model=model,
                     ablation=ablation,
-                    reason="timeout",
+                    reason=(
+                        "deadline"
+                        if request.deadline_s is not None
+                        and now >= request.deadline_s
+                        else "timeout"
+                    ),
                     dropped_at_s=now,
                     waited_s=now - request.submitted_at,
                 )
@@ -420,8 +491,304 @@ class Replica:
         }
 
 
+class ContinuousReplica:
+    """A fleet member running iteration-level continuous batching.
+
+    Same event-loop interface as :class:`Replica`, but each
+    ``(model, ablation)`` key is served by a
+    :class:`~repro.serve.continuous.ContinuousServer` whose live batch
+    changes membership between denoising iterations, and each
+    :meth:`try_dispatch` executes **one tick** (one iteration of the
+    live batch) priced by :meth:`ServiceTimeModel.tick_latency_s`.
+
+    One accelerator holds one model's weights and phase state at a time:
+    the replica serves a single *active* key and only switches keys when
+    the active key has no in-flight generations (its live batch fully
+    drained), picking the key whose head request waited longest.
+
+    Per-generation outputs are the continuous scheduler's responsibility
+    (``execute=True`` runs the real numerics, byte-identical to solo
+    generation); by default servers are ``dry_run`` cursor machines and
+    only the schedule and its tick prices are simulated.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        accelerator: Union[str, ExionAccelerator] = "exion24",
+        policy=None,
+        service_model: Optional[ServiceTimeModel] = None,
+        tenant_weights: Optional[dict] = None,
+        execute: bool = False,
+        execute_iterations: Optional[int] = None,
+        model_seed: int = 0,
+        calibration_seed: int = 0,
+    ) -> None:
+        from repro.serve.continuous import ContinuousPolicy
+
+        self.index = index
+        self.policy = (
+            policy if policy is not None else ContinuousPolicy()
+        )
+        self.service_model = (
+            service_model
+            if service_model is not None
+            else ServiceTimeModel(accelerator)
+        )
+        self.tenant_weights = tenant_weights
+        self.execute = execute
+        self.execute_iterations = execute_iterations
+        self.model_seed = model_seed
+        self.calibration_seed = calibration_seed
+        self.clock = SimClock()
+        self.cache = ThresholdCache()
+        self.servers: dict = {}  # (model, ablation) -> ContinuousServer
+        self.warm_keys: set = set()
+        self._cold_paid: set = set()
+        self._active_key: Optional[tuple] = None
+        self.busy_until = 0.0
+        self._inflight = 0
+        self.busy_s = 0.0
+        self.requests_served = 0
+        self.batches_served = 0  # ticks dispatched
+        self.cold_starts = 0
+        self.admission_drops = 0
+        self.timeout_drops = 0
+
+    @property
+    def name(self) -> str:
+        return f"replica{self.index}"
+
+    @property
+    def accelerator_name(self) -> str:
+        return self.service_model.name
+
+    def policy_doc(self) -> dict:
+        return {
+            "mode": "continuous",
+            "max_batch_size": self.policy.max_batch_size,
+            "quantum": self.policy.quantum,
+            "preempt": self.policy.preempt,
+        }
+
+    # ------------------------------------------------------------------
+    # routing metrics
+    # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        return sum(len(server.queue) for server in self.servers.values())
+
+    def active_count(self) -> int:
+        return sum(len(server.active) for server in self.servers.values())
+
+    def load(self, now: float) -> int:
+        """Queued plus in-flight generations (live batch members)."""
+        return self.queue_depth() + self.active_count()
+
+    def is_warm(self, key: tuple) -> bool:
+        return key in self.warm_keys
+
+    # ------------------------------------------------------------------
+    # event-loop interface
+    # ------------------------------------------------------------------
+    def _server(self, model: str, ablation: str):
+        from repro.serve.continuous import ContinuousServer
+
+        key = (model, ablation)
+        if key not in self.servers:
+            config = ExionConfig.for_model(model).ablation(ablation)
+
+            def tick_time(batch_size, is_dense, model=model,
+                          ablation=ablation, key=key):
+                kind = "dense" if is_dense else "sparse"
+                latency = self.service_model.tick_latency_s(
+                    model, ablation, batch_size, kind
+                )
+                if self.service_model.cold_start and key not in self._cold_paid:
+                    self._cold_paid.add(key)
+                    self.cold_starts += 1
+                    latency += self.service_model.calibration_s(model)
+                return latency
+
+            self.servers[key] = ContinuousServer(
+                model,
+                config=config,
+                policy=self.policy,
+                tenant_weights=self.tenant_weights,
+                cache=self.cache,
+                model_seed=self.model_seed,
+                total_iterations=(
+                    self.execute_iterations
+                    if self.execute
+                    else self.service_model.iterations
+                ),
+                calibration_seed=self.calibration_seed,
+                clock=self.clock,
+                tick_time=tick_time,
+                dry_run=not self.execute,
+                retain_results=self.execute,
+            )
+        return self.servers[key]
+
+    def enqueue(self, request, now: float, max_queue_depth=None) -> bool:
+        """Admit (or reject) one routed request at simulated time ``now``."""
+        if (
+            max_queue_depth is not None
+            and self.queue_depth() >= max_queue_depth
+        ):
+            self.admission_drops += 1
+            return False
+        self.clock.now = now
+        server = self._server(request.model, request.ablation)
+        accepted = server.submit(
+            seed=request.seed,
+            prompt=request.prompt,
+            class_label=request.class_label,
+            tenant=getattr(request, "tenant", "default"),
+            priority=getattr(request, "priority", None),
+            deadline_s=getattr(request, "deadline_s", None),
+        )
+        if accepted is None:  # server-side admission (depth / SLA) reject
+            self.admission_drops += 1
+            return False
+        self.warm_keys.add(request.pipeline_key)
+        return True
+
+    def _collect_drops(self, now: float) -> list:
+        dropped = []
+        for key, server in sorted(self.servers.items()):
+            model, ablation = key
+            for request, reason in server.pop_dropped():
+                dropped.append(DroppedRequest(
+                    model=model,
+                    ablation=ablation,
+                    reason=reason,
+                    dropped_at_s=now,
+                    waited_s=max(0.0, now - request.submitted_at),
+                ))
+        self.timeout_drops += len(dropped)
+        return dropped
+
+    def expire(self, now: float, timeout_s: Optional[float]) -> list:
+        """Sweep queue timeouts/deadlines across every key's fair queue."""
+        for _, server in sorted(self.servers.items()):
+            server.expire_queued(now, timeout_s=timeout_s)
+        return self._collect_drops(now)
+
+    def _choose_key(self, now: float) -> Optional[tuple]:
+        if self._active_key is not None:
+            server = self.servers[self._active_key]
+            if server.active:
+                return self._active_key  # mid-generation: no model swap
+            if not server.has_work:
+                self._active_key = None
+        best = None
+        for key, server in sorted(self.servers.items()):
+            if not server.has_work:
+                continue
+            head_submitted = now - server.queue.oldest_wait(now)
+            if server.active:  # pragma: no cover - single active key
+                head_submitted = -math.inf
+            candidate = (head_submitted, key)
+            if best is None or candidate < best:
+                best = candidate
+        if best is None:
+            return None
+        self._active_key = best[1]
+        return best[1]
+
+    def _earliest_timeout(
+        self, now: float, timeout_s: Optional[float]
+    ) -> Optional[float]:
+        """When a queued request next crosses its timeout or deadline."""
+        due = None
+        for _, server in sorted(self.servers.items()):
+            for entry in server.queue.entries():
+                candidates = []
+                if timeout_s is not None:
+                    # Expiry is strict (wait > timeout): one ulp later.
+                    candidates.append(math.nextafter(
+                        entry.request.submitted_at + timeout_s, math.inf
+                    ))
+                if entry.request.deadline_s is not None:
+                    candidates.append(entry.request.deadline_s)
+                for when in candidates:
+                    due = when if due is None else min(due, when)
+        return due
+
+    def next_event_time(
+        self, now: float, timeout_s: Optional[float] = None
+    ) -> Optional[float]:
+        """When this replica next needs attention, or ``None`` if idle."""
+        if not any(s.has_work for s in self.servers.values()):
+            return None
+        deadline = self._earliest_timeout(now, timeout_s)
+        fire = self.busy_until if self.busy_until > now else now
+        if deadline is None:
+            return fire
+        return min(fire, deadline)
+
+    def try_dispatch(self, now: float) -> Optional[Dispatch]:
+        """Run one tick of the active key's live batch at ``now``."""
+        if self.busy_until > now:
+            return None
+        key = self._choose_key(now)
+        if key is None:
+            return None
+        model, ablation = key
+        server = self.servers[key]
+        self.clock.now = now
+        served = server.step(now=now)
+        self._collect_drops(now)
+        tick_s = server.last_tick_s
+        if tick_s == 0.0 and not served and not server.active:
+            # The rebalance admitted nothing (everything expired): no
+            # tick actually ran, nothing to account.
+            return None
+        self.busy_until = now + tick_s
+        self._inflight = len(server.active) + len(served)
+        self.busy_s += tick_s
+        self.requests_served += len(served)
+        self.batches_served += 1
+        return Dispatch(
+            replica=self.name,
+            model=model,
+            ablation=ablation,
+            served=served,
+            started_s=now,
+            service_s=tick_s,
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def usage(self, makespan_s: float) -> dict:
+        reports = [s.report() for _, s in sorted(self.servers.items())]
+        ticks = sum(r.ticks for r in reports)
+        occupancy = sum(r.occupancy_ticks for r in reports)
+        return {
+            "name": self.name,
+            "accelerator": self.accelerator_name,
+            "requests_served": self.requests_served,
+            "batches_served": self.batches_served,
+            "mean_batch_size": occupancy / ticks if ticks else 0.0,
+            "busy_s": self.busy_s,
+            "utilization": (
+                self.busy_s / makespan_s if makespan_s > 0.0 else 0.0
+            ),
+            "cold_starts": self.cold_starts,
+            "admission_drops": self.admission_drops,
+            "timeout_drops": self.timeout_drops,
+            "ticks": ticks,
+            "mean_occupancy": occupancy / ticks if ticks else 0.0,
+            "joins": sum(r.joins for r in reports),
+            "preemptions": sum(r.preemptions for r in reports),
+            "deadline_evictions": sum(r.deadline_evictions for r in reports),
+        }
+
+
 __all__ = [
     "ACCELERATORS",
+    "ContinuousReplica",
     "Dispatch",
     "DroppedRequest",
     "Replica",

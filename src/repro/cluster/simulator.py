@@ -136,17 +136,13 @@ class ClusterSimulator:
 
         accelerators = sorted({r.accelerator_name for r in self.replicas})
         models = sorted({r.model for r in requests})
-        policy = self.replicas[0].policy
         doc = {
             "replicas": len(self.replicas),
             "accelerator": (
                 accelerators[0] if len(accelerators) == 1 else accelerators
             ),
             "models": models,
-            "policy": {
-                "max_batch_size": policy.max_batch_size,
-                "max_wait_s": policy.max_wait_s,
-            },
+            "policy": self.replicas[0].policy_doc(),
             "slo": self.slo.describe(),
             **self.router.describe(),
             **(scenario or {}),
@@ -174,6 +170,8 @@ def build_replicas(
     execute_iterations: Optional[int] = None,
     model_seed: int = 0,
     calibration_seed: int = 0,
+    continuous: bool = False,
+    tenant_weights=None,
     **service_kwargs,
 ) -> list:
     """A homogeneous fleet sharing one memoized service-time model.
@@ -181,14 +179,34 @@ def build_replicas(
     ``model_seed``/``calibration_seed`` reach every replica's servers;
     remaining keyword arguments configure the shared
     :class:`~repro.cluster.replica.ServiceTimeModel` (``iterations``,
-    ``profile_seed``, ``cold_start``).
+    ``profile_seed``, ``cold_start``). ``continuous=True`` builds
+    :class:`~repro.cluster.replica.ContinuousReplica` members
+    (iteration-level continuous batching; ``policy`` is then a
+    :class:`~repro.serve.continuous.ContinuousPolicy` and
+    ``tenant_weights`` configures per-tenant fair-queuing weights).
     """
-    from repro.cluster.replica import ServiceTimeModel
+    from repro.cluster.replica import ContinuousReplica, ServiceTimeModel
 
     if count_ < 1:
         raise ValueError("need at least one replica")
     if service_model is None:
         service_model = ServiceTimeModel(accelerator, **service_kwargs)
+    if continuous:
+        return [
+            ContinuousReplica(
+                index=i,
+                policy=policy,
+                service_model=service_model,
+                tenant_weights=tenant_weights,
+                execute=execute,
+                execute_iterations=execute_iterations,
+                model_seed=model_seed,
+                calibration_seed=calibration_seed,
+            )
+            for i in range(count_)
+        ]
+    if tenant_weights is not None:
+        raise ValueError("tenant_weights requires continuous=True")
     return [
         Replica(
             index=i,

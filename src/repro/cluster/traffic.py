@@ -47,6 +47,10 @@ class ClusterRequest:
     ``model``/``ablation`` identify the pipeline the request needs (the
     cache-affinity key); ``seed``/``class_label``/``prompt`` are the
     generation inputs an :class:`~repro.serve.server.ExionServer` expects.
+    ``tenant``/``priority``/``deadline_s`` feed the continuous
+    scheduler's fair queuing, preemption, and SLA admission
+    (:class:`~repro.serve.continuous.ContinuousServer`); the drain-style
+    replicas ignore them. ``deadline_s`` is absolute simulated time.
     """
 
     arrival_s: float
@@ -55,10 +59,15 @@ class ClusterRequest:
     class_label: Optional[int] = None
     prompt: Optional[str] = None
     ablation: str = "all"
+    tenant: str = "default"
+    priority: int = 1  # Priority.STANDARD (int to keep JSON round-trips flat)
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0.0:
             raise ValueError("arrival_s must be >= 0")
+        if self.deadline_s is not None and self.deadline_s < self.arrival_s:
+            raise ValueError("deadline_s must be >= arrival_s")
 
     @property
     def pipeline_key(self) -> tuple:
@@ -271,11 +280,21 @@ def synthesize_trace(
     n: int,
     mix: Optional[WorkloadMix] = None,
     rng: Union[int, np.random.Generator] = 0,
+    deadline_s: Optional[float] = None,
+    tenants: Optional[Sequence[str]] = None,
 ) -> list:
     """Materialize ``n`` requests: arrival times from ``process``, models
-    and generation inputs from ``mix``, all driven by one RNG."""
+    and generation inputs from ``mix``, all driven by one RNG.
+
+    ``deadline_s`` attaches a *relative* completion deadline to every
+    request (absolute deadline = arrival + ``deadline_s``); ``tenants``
+    assigns tenant names round-robin — both feed the continuous
+    scheduler's SLA and fair-queuing machinery.
+    """
     if n < 0:
         raise ValueError("n must be >= 0")
+    if deadline_s is not None and deadline_s <= 0.0:
+        raise ValueError("deadline_s must be > 0")
     mix = mix if mix is not None else WorkloadMix()
     rng = as_rng(rng)
     instants = process.times(n, rng)
@@ -290,6 +309,13 @@ def synthesize_trace(
             seed=int(seeds[i]),
             class_label=int(labels[i]),
             ablation=mix.ablation,
+            tenant=(
+                "default" if not tenants else tenants[i % len(tenants)]
+            ),
+            deadline_s=(
+                None if deadline_s is None
+                else float(instants[i]) + deadline_s
+            ),
         )
         for i in range(n)
     ]

@@ -32,9 +32,17 @@ model, ablation and seed it sweeps.
 """
 
 from repro.exec.batched import CompiledBatchedExecutor
+from repro.exec.continuous import (
+    ContinuousExecutor,
+    PhaseSyncError,
+    RequestRun,
+)
 from repro.exec.executor import CompiledExecutor
 
 __all__ = [
     "CompiledBatchedExecutor",
     "CompiledExecutor",
+    "ContinuousExecutor",
+    "PhaseSyncError",
+    "RequestRun",
 ]

@@ -379,50 +379,117 @@ class CompiledBatchedExecutor:
     ) -> np.ndarray:
         """Mirror of :meth:`BatchedFFNReuse._resolve_thresholds`."""
         batch = hidden.shape[0]
-        if self.config.ffn_threshold is not None:
-            return np.full(batch, self.config.ffn_threshold)
-        if self.threshold_table is not None:
-            stored = self.threshold_table.get(dense_index, block)
-            if stored is not None:
-                return np.full(batch, stored)
-        mags = np.abs(hidden.reshape(batch, -1).astype(np.float64))
-        return np.quantile(mags, self.config.ffn_target_sparsity, axis=1)
+        return resolve_thresholds_batched(
+            hidden, block, np.full(batch, dense_index),
+            self.config, self.threshold_table,
+        )
 
     def _ffn_dense_compile(
         self, layer: FeedForward, x: np.ndarray, block: int, phase: int
     ) -> tuple[np.ndarray, _BatchedFFNPhaseState]:
         """Batched :func:`repro.core.ffn_reuse.ffn_dense_compile`."""
-        batch = x.shape[0]
-        hidden = layer.nonlinear(layer.linear1(x))
-        out = layer.linear2(hidden)
-
-        thresholds = self._resolve_thresholds(hidden, block, phase)
-        mask = np.abs(hidden) > thresholds[:, None, None]
-        reused = hidden * ~mask
-        partial = reused @ layer.linear2.weight
-        if layer.linear2.bias is not None:
-            partial = partial + layer.linear2.bias
-
-        gather = np.flatnonzero(mask.ravel())
-        value_idx = gate_idx = None
-        if layer.activation == "geglu":
-            per_request = mask.shape[1] * mask.shape[2]
-            b_idx = gather // per_request
-            rem = gather % per_request
-            rows = rem // layer.hidden_dim
-            cols = rem % layer.hidden_dim
-            width = layer.linear1.out_features
-            value_idx = (b_idx * mask.shape[1] + rows) * width + cols
-            gate_idx = value_idx + layer.hidden_dim
-        return out, _BatchedFFNPhaseState(
-            hidden_dense=hidden,
-            mask=mask,
-            gather_indices=gather,
-            partial_sums=partial,
-            nnz_per_request=mask.reshape(batch, -1).sum(axis=1),
-            value_indices=value_idx,
-            gate_indices=gate_idx,
+        return ffn_dense_compile_batched(
+            layer, x, block, np.full(x.shape[0], phase),
+            self.config, self.threshold_table,
         )
+
+
+def resolve_thresholds_batched(
+    hidden: np.ndarray,
+    block: int,
+    dense_indices: np.ndarray,
+    config: ExionConfig,
+    threshold_table: Optional[ThresholdTable],
+) -> np.ndarray:
+    """Per-request FFN-Reuse thresholds, one dense-phase index per request.
+
+    A drained micro-batch has every request in the same phase; a
+    continuous batch (:mod:`repro.exec.continuous`) mixes requests whose
+    dense compiles fall on different calibrated phases — so the table
+    lookup is per request. Each request's resolution is identical to what
+    :meth:`BatchedFFNReuse._resolve_thresholds` computes for it alone.
+    """
+    batch = hidden.shape[0]
+    if config.ffn_threshold is not None:
+        return np.full(batch, config.ffn_threshold)
+    thresholds = np.empty(batch)
+    pending = []
+    for b in range(batch):
+        stored = (
+            threshold_table.get(int(dense_indices[b]), block)
+            if threshold_table is not None
+            else None
+        )
+        if stored is None:
+            pending.append(b)
+        else:
+            thresholds[b] = stored
+    if pending:
+        mags = np.abs(hidden[pending].reshape(len(pending), -1)
+                      .astype(np.float64))
+        thresholds[pending] = np.quantile(
+            mags, config.ffn_target_sparsity, axis=1
+        )
+    return thresholds
+
+
+def ffn_dense_compile_batched(
+    layer: FeedForward,
+    x: np.ndarray,
+    block: int,
+    dense_indices: np.ndarray,
+    config: ExionConfig,
+    threshold_table: Optional[ThresholdTable],
+) -> tuple[np.ndarray, _BatchedFFNPhaseState]:
+    """Batched :func:`repro.core.ffn_reuse.ffn_dense_compile` with a
+    per-request dense-phase index (see :func:`resolve_thresholds_batched`)."""
+    batch = x.shape[0]
+    hidden = layer.nonlinear(layer.linear1(x))
+    out = layer.linear2(hidden)
+
+    thresholds = resolve_thresholds_batched(
+        hidden, block, dense_indices, config, threshold_table
+    )
+    mask = np.abs(hidden) > thresholds[:, None, None]
+    reused = hidden * ~mask
+    partial = reused @ layer.linear2.weight
+    if layer.linear2.bias is not None:
+        partial = partial + layer.linear2.bias
+
+    state = _BatchedFFNPhaseState(
+        hidden_dense=hidden,
+        mask=mask,
+        gather_indices=np.flatnonzero(mask.ravel()),
+        partial_sums=partial,
+        nnz_per_request=mask.reshape(batch, -1).sum(axis=1),
+    )
+    _attach_geglu_indices(layer, state)
+    return out, state
+
+
+def _attach_geglu_indices(
+    layer: FeedForward, state: _BatchedFFNPhaseState
+) -> None:
+    """Derive the GEGLU value/gate gather sets from the flat mask gather.
+
+    Shared by the dense compile and the continuous executor's index-set
+    edits: whenever ``gather_indices`` is rebuilt (new mask, or same masks
+    restacked under new batch membership), the paired pre-activation
+    indices follow from pure index arithmetic.
+    """
+    if layer.activation != "geglu":
+        state.value_indices = state.gate_indices = None
+        return
+    mask = state.mask
+    gather = state.gather_indices
+    per_request = mask.shape[1] * mask.shape[2]
+    b_idx = gather // per_request
+    rem = gather % per_request
+    rows = rem // layer.hidden_dim
+    cols = rem % layer.hidden_dim
+    width = layer.linear1.out_features
+    state.value_indices = (b_idx * mask.shape[1] + rows) * width + cols
+    state.gate_indices = state.value_indices + layer.hidden_dim
 
 
 def _ffn_sparse_step_batched(

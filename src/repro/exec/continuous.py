@@ -1,0 +1,490 @@
+"""Iteration-level continuous batching over the compiled plan.
+
+:class:`~repro.exec.batched.CompiledBatchedExecutor` runs a *drained*
+micro-batch: every request enters at step 0 and leaves at the last step
+together. :class:`ContinuousExecutor` relaxes exactly that: it advances a
+set of :class:`RequestRun` cursors one plan step per :meth:`run_tick`,
+and the set may change **between** ticks — requests join, finish, or are
+evicted while the others keep denoising.
+
+The FFN-Reuse schedule constrains *when* membership may change:
+
+- a request may only **join** when its first step is a dense compile and
+  every active member is at a dense step too (otherwise the joiner would
+  need a sparse gather set no dense iteration ever compiled for it);
+- members may **leave at any tick** — completion and eviction drop rows,
+  they never require new per-request state.
+
+Both facts fall out of keeping all per-phase FFN state *per run*
+(:class:`_RunFFNState`) and treating the batch-wide arrays the kernels
+consume as a disposable cache: whenever membership changes, the flat
+gather/scatter sets are rebuilt by **index-set edits** — restacking the
+surviving per-run masks and recomputing flat indices — with zero model
+re-tracing (no new thresholds, no new dense compile, no re-quantization).
+
+Every kernel is the exact batched kernel from
+:mod:`repro.exec.batched`, whose per-request rows are proven independent
+of batch composition by the serve parity suite — so a request served
+continuously produces **byte-identical** samples and
+:class:`~repro.core.sparsity.RunStats` to its own solo sequential run,
+regardless of who shared its ticks. ``tests/serve/test_continuous_*``
+enforces this differentially against the interpreted oracle.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ExionConfig
+from repro.core.pipeline import GenerationResult, _fake_quantize
+from repro.core.sparsity import RunStats
+from repro.core.thresholds import ThresholdTable
+from repro.models.ffn import FeedForward
+from repro.models.network import NetworkType
+from repro.models.pipeline import DiffusionResult
+from repro.models.scheduler import DDPMScheduler
+from repro.models.zoo import BenchmarkModel
+from repro.program.compiled import CompiledPlan, compile_plan
+from repro.program.lower import lower_plan
+from repro.serve.request import GenerationRequest
+
+from repro.exec.batched import (
+    _BatchedFFNPhaseState,
+    _attach_geglu_indices,
+    _attention_exact_batched,
+    _ep_attention_step_batched,
+    _ep_cross_kv_batched,
+    _fake_quantize_batched,
+    _ffn_sparse_step_batched,
+    ffn_dense_compile_batched,
+)
+from repro.core.eager_prediction import _split_heads_batched
+from repro.exec.executor import build_prediction_tables, build_step_tables
+
+
+class PhaseSyncError(RuntimeError):
+    """Batch membership violates the dense-phase lockstep invariant."""
+
+
+@dataclass
+class _RunFFNState:
+    """One request's slice of a compiled FFN phase (per block).
+
+    ``hidden_dense``/``mask``/``partial_sums`` are the request's own rows
+    of the batch-wide dense compile; restacking them under any later
+    batch membership reproduces the exact arrays the drained batched
+    kernel would have built, which is what keeps membership changes pure
+    index-set edits.
+    """
+
+    hidden_dense: np.ndarray  # (tokens, hidden)
+    mask: np.ndarray  # (tokens, hidden) bool
+    partial_sums: np.ndarray  # (tokens, dim)
+    nnz: int
+
+
+class RequestRun:
+    """One in-flight request: latent, cursor, RNG and per-phase state."""
+
+    def __init__(
+        self,
+        request: GenerationRequest,
+        x: np.ndarray,
+        rng: np.random.Generator,
+        scheduler,
+        context: Optional[np.ndarray],
+        num_blocks: int,
+    ) -> None:
+        self.request = request
+        self.x = x
+        self.rng = rng
+        self.scheduler = scheduler
+        self.context = context
+        self.cursor = 0
+        self.stats = RunStats()
+        self.ffn: list = [None] * num_blocks
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+
+class ContinuousExecutor:
+    """Advances a mutable set of :class:`RequestRun` in plan lockstep."""
+
+    def __init__(
+        self,
+        model: BenchmarkModel,
+        config: ExionConfig,
+        threshold_table: Optional[ThresholdTable] = None,
+        activation_bits: Optional[int] = None,
+        compiled_plan: Optional[CompiledPlan] = None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.threshold_table = threshold_table
+        self.activation_bits = activation_bits
+        if compiled_plan is None:
+            compiled_plan = compile_plan(
+                lower_plan(model.spec, config=config, scale="sim")
+            )
+        self.compiled_plan = compiled_plan
+        self._timesteps, self._t_embeds, self._adaln_tables = (
+            build_step_tables(model)
+        )
+        self._preds = build_prediction_tables(model.network, config)
+        self._pipeline = model.make_pipeline()
+        # Batch-wide caches, valid only for one membership signature.
+        self._membership: tuple = ()
+        self._ffn_batch: dict = {}  # block -> _BatchedFFNPhaseState
+        self._cross_kv: dict = {}  # block -> EP (kh, k, v)
+        self._cross_exact_kv: dict = {}  # block -> (k, v)
+
+    # ------------------------------------------------------------------
+    # run lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def iterations(self) -> int:
+        return self.compiled_plan.iterations
+
+    def start_run(self, request: GenerationRequest) -> RequestRun:
+        """Materialize a request's initial state (cursor 0, own RNG)."""
+        network = self.model.network
+        rng = np.random.default_rng(request.seed)
+        x = rng.standard_normal((network.tokens, network.dim))
+        context = self._pipeline.embed_prompt(
+            request.prompt, request.class_label
+        )
+        if context is not None and self.activation_bits is not None:
+            context = _fake_quantize(context, self.activation_bits)
+        scheduler = self.model.scheduler
+        if hasattr(scheduler, "reset"):
+            # Multistep solvers carry per-trajectory state; each run gets
+            # its own fresh copy. Stateless schedulers are shared.
+            scheduler = copy.deepcopy(scheduler)
+            scheduler.reset()
+        return RequestRun(
+            request=request,
+            x=x,
+            rng=rng,
+            scheduler=scheduler,
+            context=context,
+            num_blocks=network.num_transformer_blocks,
+        )
+
+    def finish_run(self, run: RequestRun) -> GenerationResult:
+        """Package a completed run exactly like the batched executor."""
+        if run.cursor != self.iterations:
+            raise PhaseSyncError(
+                f"run {run.request_id} finished at cursor {run.cursor}, "
+                f"expected {self.iterations}"
+            )
+        return GenerationResult(
+            sample=run.x.copy(),
+            stats=run.stats,
+            diffusion=DiffusionResult(
+                sample=run.x.copy(), iterations=len(self._timesteps)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # one lockstep tick
+    # ------------------------------------------------------------------
+    def run_tick(self, runs: Sequence[RequestRun]) -> list:
+        """Advance every run one plan step; returns the runs that finished.
+
+        All runs must sit at steps of the same density (the scheduler's
+        job — joins only at dense boundaries keep this invariant). The
+        caller removes returned (finished) runs from its active set; the
+        next tick's membership change is absorbed here as an index-set
+        edit.
+        """
+        runs = list(runs)
+        if not runs:
+            raise ValueError("need at least one active run")
+        plan = self.compiled_plan
+        densities = set()
+        for run in runs:
+            if not 0 <= run.cursor < plan.iterations:
+                raise PhaseSyncError(
+                    f"run {run.request_id} cursor {run.cursor} outside plan"
+                )
+            densities.add(plan.steps[run.cursor].is_dense)
+        if len(densities) != 1:
+            raise PhaseSyncError(
+                "mixed dense/sparse cursors in one tick: "
+                + str([(r.request_id, r.cursor) for r in runs])
+            )
+        self._tick_dense = densities.pop()
+
+        membership = tuple(id(r) for r in runs)
+        if membership != self._membership:
+            # Index-set edit: the batch-wide caches die with the old
+            # membership; FFN stacks are rebuilt lazily from per-run
+            # state, K/V stacks from per-run contexts. No re-trace.
+            self._membership = membership
+            self._ffn_batch = {}
+            self._cross_kv = {}
+            self._cross_exact_kv = {}
+
+        x = np.stack([r.x for r in runs])
+        context = None
+        if any(r.context is not None for r in runs):
+            if any(r.context is None for r in runs):
+                raise PhaseSyncError(
+                    "conditioned and unconditioned runs in one batch"
+                )
+            context = np.stack([r.context for r in runs])
+
+        count_iterations = self.config.enable_ffn_reuse
+        eps = self._forward(x, runs, context)
+
+        finished = []
+        timesteps = self._timesteps
+        for b, run in enumerate(runs):
+            i = run.cursor
+            if count_iterations:
+                if self._tick_dense:
+                    run.stats.dense_iterations += 1
+                else:
+                    run.stats.sparse_iterations += 1
+            t = int(timesteps[i])
+            prev_t = int(timesteps[i + 1]) if i + 1 < len(timesteps) else -1
+            if isinstance(run.scheduler, DDPMScheduler):
+                run.x = run.scheduler.step(
+                    eps[b], t, run.x, prev_t=prev_t, rng=run.rng
+                )
+            else:
+                run.x = run.scheduler.step(
+                    eps[b], t, run.x, prev_t=prev_t, rng=None
+                )
+            run.cursor += 1
+            if run.cursor == plan.iterations:
+                finished.append(run)
+        return finished
+
+    # ------------------------------------------------------------------
+    # network forward (mirrors CompiledBatchedExecutor, per-run cursors)
+    # ------------------------------------------------------------------
+    def _forward(
+        self,
+        x: np.ndarray,
+        runs: list,
+        raw_context: Optional[np.ndarray],
+    ) -> np.ndarray:
+        network = self.model.network
+        if network.network_type is NetworkType.TRANSFORMER_ONLY:
+            h = x
+            for i, block in enumerate(network.blocks):
+                h = self._block(block, h, raw_context, runs, i)
+            return network.out_proj(network.final_norm(h))
+
+        half = max(1, network.depth // 2)
+        h = x
+        for i in range(half):
+            h = self._stage(i, h, raw_context, runs)
+        skip = h
+        h = self._downsample(h)
+        for i in range(half, network.depth):
+            h = self._stage(i, h, raw_context, runs)
+        h = self._upsample(h, network.tokens) + skip
+        return network.out_proj(network.final_norm(h))
+
+    def _stage(
+        self,
+        index: int,
+        h: np.ndarray,
+        raw_context: Optional[np.ndarray],
+        runs: list,
+    ) -> np.ndarray:
+        network = self.model.network
+        if network.resblocks:
+            resblock = network.resblocks[index]
+            h = np.stack([
+                network._apply_resblock(
+                    resblock, h[b], self._t_embeds[run.cursor]
+                )
+                for b, run in enumerate(runs)
+            ])
+        return self._block(network.blocks[index], h, raw_context, runs, index)
+
+    def _downsample(self, h: np.ndarray) -> np.ndarray:
+        network = self.model.network
+        tokens = h.shape[1]
+        if tokens % 2 == 1:
+            h = np.concatenate([h, h[:, -1:]], axis=1)
+        pooled = 0.5 * (h[:, 0::2] + h[:, 1::2])
+        return network.down_proj(pooled)
+
+    def _upsample(self, h: np.ndarray, target_tokens: int) -> np.ndarray:
+        network = self.model.network
+        up = np.repeat(h, 2, axis=1)[:, :target_tokens]
+        if up.shape[1] < target_tokens:
+            pad = np.repeat(up[:, -1:], target_tokens - up.shape[1], axis=1)
+            up = np.concatenate([up, pad], axis=1)
+        return network.up_proj(up)
+
+    def _block(
+        self,
+        block,
+        x: np.ndarray,
+        raw_context: Optional[np.ndarray],
+        runs: list,
+        block_index: int,
+    ) -> np.ndarray:
+        h = block.norm1(x)
+        table = self._adaln_tables[block_index]
+        if table is not None:
+            # Per-run modulation rows, broadcast over tokens: identical
+            # elementwise arithmetic to the per-step scalar broadcast of
+            # the drained executor.
+            entries = [table[run.cursor] for run in runs]
+            shift = np.stack([e[0] for e in entries])[:, None, :]
+            scale = np.stack([e[1] for e in entries])[:, None, :]
+            gate = np.stack([e[2] for e in entries])[:, None, :]
+            h = h * (1.0 + scale) + shift
+        else:
+            gate = 1.0
+        x = x + gate * self._attention(
+            block.self_attn, h, None, block_index, runs
+        )
+        if block.cross_attn is not None and raw_context is not None:
+            assert block.norm_cross is not None
+            x = x + self._attention(
+                block.cross_attn, block.norm_cross(x), raw_context,
+                block_index, runs,
+            )
+        x = x + self._ffn(block.ffn, block.norm2(x), block_index, runs)
+        return x
+
+    # ------------------------------------------------------------------
+    # attention
+    # ------------------------------------------------------------------
+    def _attention(
+        self,
+        layer,
+        x: np.ndarray,
+        context: Optional[np.ndarray],
+        block_index: int,
+        runs: list,
+    ) -> np.ndarray:
+        if self.activation_bits is not None:
+            x = _fake_quantize_batched(x, self.activation_bits)
+        if not self._preds:
+            if context is None:
+                return _attention_exact_batched(layer, x, x)
+            cached = self._cross_exact_kv.get(block_index)
+            if cached is None:
+                cached = (
+                    _split_heads_batched(layer.wk(context), layer.num_heads),
+                    _split_heads_batched(layer.wv(context), layer.num_heads),
+                )
+                self._cross_exact_kv[block_index] = cached
+            return _attention_exact_batched(layer, x, context, kv=cached)
+        which = "self" if context is None else "cross"
+        pred = self._preds[block_index][which]
+        kv = None
+        if context is not None:
+            kv = self._cross_kv.get(block_index)
+            if kv is None:
+                kv = _ep_cross_kv_batched(layer, context, pred, self.config)
+                self._cross_kv[block_index] = kv
+        return _ep_attention_step_batched(
+            layer, x, context, pred, self.config,
+            [run.stats for run in runs], kv=kv,
+        )
+
+    # ------------------------------------------------------------------
+    # FFN
+    # ------------------------------------------------------------------
+    def _ffn(
+        self,
+        layer: FeedForward,
+        x: np.ndarray,
+        block_index: int,
+        runs: list,
+    ) -> np.ndarray:
+        if self.activation_bits is not None:
+            x = _fake_quantize_batched(x, self.activation_bits)
+        if not self.config.enable_ffn_reuse:
+            return layer.linear2(layer.nonlinear(layer.linear1(x)))
+        tokens = x.shape[1]
+        full_l1 = layer.linear1.macs(tokens)
+        full_l2 = layer.linear2.macs(tokens)
+        if self._tick_dense:
+            dense_indices = np.array([
+                self.compiled_plan.steps[run.cursor].phase for run in runs
+            ])
+            out, batch_state = ffn_dense_compile_batched(
+                layer, x, block_index, dense_indices,
+                self.config, self.threshold_table,
+            )
+            self._ffn_batch[block_index] = batch_state
+            for b, run in enumerate(runs):
+                run.ffn[block_index] = _RunFFNState(
+                    hidden_dense=batch_state.hidden_dense[b],
+                    mask=batch_state.mask[b],
+                    partial_sums=batch_state.partial_sums[b],
+                    nnz=int(batch_state.nnz_per_request[b]),
+                )
+                run.stats.ffn_layer1.add(full_l1, full_l1)
+                run.stats.ffn_layer2.add(full_l2, full_l2)
+            return out
+
+        batch_state = self._ffn_batch.get(block_index)
+        if batch_state is None:
+            batch_state = self._rebuild_ffn_batch(layer, block_index, runs)
+        out = _ffn_sparse_step_batched(layer, x, batch_state)
+        elements = batch_state.mask.shape[1] * batch_state.mask.shape[2]
+        l1_cols_per_hidden = layer.linear1.out_features // layer.hidden_dim
+        for run in runs:
+            nnz = run.ffn[block_index].nnz
+            run.stats.ffn_layer1.add(
+                full_l1, nnz * layer.dim * l1_cols_per_hidden
+            )
+            run.stats.ffn_layer2.add(full_l2, nnz * layer.dim)
+            run.stats.ffn_sparsities.append(1.0 - nnz / elements)
+        return out
+
+    def _rebuild_ffn_batch(
+        self, layer: FeedForward, block_index: int, runs: list
+    ) -> _BatchedFFNPhaseState:
+        """The index-set edit: restack surviving per-run phase state.
+
+        No thresholds are resolved and no dense compile runs — the new
+        batch-wide flat gather/scatter sets are pure index arithmetic
+        over the per-run masks each request compiled at its own dense
+        step.
+        """
+        missing = [
+            run.request_id for run in runs if run.ffn[block_index] is None
+        ]
+        if missing:
+            raise PhaseSyncError(
+                f"runs {missing} reached a sparse step without compiled "
+                f"FFN state for block {block_index} (join off a dense "
+                "boundary?)"
+            )
+        states = [run.ffn[block_index] for run in runs]
+        mask = np.stack([s.mask for s in states])
+        batch_state = _BatchedFFNPhaseState(
+            hidden_dense=np.stack([s.hidden_dense for s in states]),
+            mask=mask,
+            gather_indices=np.flatnonzero(mask.ravel()),
+            partial_sums=np.stack([s.partial_sums for s in states]),
+            nnz_per_request=np.array([s.nnz for s in states]),
+        )
+        _attach_geglu_indices(layer, batch_state)
+        self._ffn_batch[block_index] = batch_state
+        return batch_state
+
+
+__all__ = [
+    "ContinuousExecutor",
+    "PhaseSyncError",
+    "RequestRun",
+]

@@ -104,6 +104,49 @@ class CompiledPlan:
         return max((p.length for p in self.phases), default=0)
 
     # ------------------------------------------------------------------
+    # continuous-batching boundary predicates
+    # ------------------------------------------------------------------
+    @property
+    def dense_flags(self) -> tuple:
+        """``is_dense`` per step — the whole schedule as one bit pattern."""
+        return tuple(s.is_dense for s in self.steps)
+
+    def is_boundary(self, cursor: int) -> bool:
+        """Whether a request whose *next* step is ``cursor`` sits at a
+        dense-phase boundary.
+
+        At a boundary the request either recompiles its FFN state on the
+        coming dense step or has finished — in both cases it carries no
+        sparse-phase state forward, so batch membership may change around
+        it. ``cursor == iterations`` (the request just finished) counts.
+        """
+        if cursor < 0 or cursor > self.iterations:
+            raise ValueError(f"cursor {cursor} outside [0, {self.iterations}]")
+        return cursor == self.iterations or self.steps[cursor].is_dense
+
+    def cursors_aligned(self, cursors) -> bool:
+        """Whether requests at ``cursors`` can run the rest of the plan in
+        lockstep: every pair must agree on dense/sparse for the steps they
+        will share. A fresh join is ``cursors_aligned(active + [0])``.
+
+        For the strictly periodic schedules :func:`schedule_phases`
+        produces, requests admitted at dense boundaries stay congruent
+        modulo the phase length forever — this predicate is how the
+        scheduler *proves* that instead of assuming it.
+        """
+        flags = self.dense_flags
+        total = len(flags)
+        done = [c for c in cursors if not 0 <= c <= total]
+        if done:
+            raise ValueError(f"cursors {done} outside [0, {total}]")
+        live = sorted(c for c in cursors if c < total)
+        for a, b in zip(live, live[1:]):
+            overlap = total - b
+            if flags[a:a + overlap] != flags[b:]:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
     # expected index-set statistics (CLI --compile report)
     # ------------------------------------------------------------------
     def index_set_stats(self) -> dict:

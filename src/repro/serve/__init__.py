@@ -11,7 +11,12 @@ concurrent requests*:
   batch-axis twin of :class:`repro.core.pipeline.ExionPipeline`;
 - :mod:`repro.serve.cache` — cross-request memoization of built models
   and offline-calibrated threshold tables;
-- :mod:`repro.serve.server` — :class:`ExionServer`, the front door.
+- :mod:`repro.serve.server` — :class:`ExionServer`, the front door;
+- :mod:`repro.serve.continuous` — :class:`ContinuousServer`,
+  iteration-level continuous batching: requests join/leave the live
+  batch between denoising iterations (joins at dense-phase boundaries
+  only), with priority classes, per-tenant weighted fair queuing,
+  preemption, and SLA-aware admission/expiry.
 
 Quickstart::
 
@@ -36,17 +41,30 @@ for queueing/batching without running the numeric generation.
 
 from repro.serve.batched import BatchedPipeline
 from repro.serve.cache import ThresholdCache
+from repro.serve.continuous import (
+    ContinuousPolicy,
+    ContinuousServeReport,
+    ContinuousServer,
+    FairQueue,
+    QueueEntry,
+)
 from repro.serve.queue import RequestQueue
-from repro.serve.request import GenerationRequest, RequestResult
+from repro.serve.request import GenerationRequest, Priority, RequestResult
 from repro.serve.scheduler import BatchingPolicy, MicroBatch, Scheduler
 from repro.serve.server import ExionServer, ServeReport
 
 __all__ = [
     "BatchedPipeline",
     "BatchingPolicy",
+    "ContinuousPolicy",
+    "ContinuousServeReport",
+    "ContinuousServer",
     "ExionServer",
+    "FairQueue",
     "GenerationRequest",
     "MicroBatch",
+    "Priority",
+    "QueueEntry",
     "RequestQueue",
     "RequestResult",
     "Scheduler",

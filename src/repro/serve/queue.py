@@ -21,6 +21,10 @@ class RequestQueue:
         self._pending: deque[GenerationRequest] = deque()
         self._next_id = 0
         self.total_submitted = 0
+        # Count of pending requests carrying a deadline, so the deadline
+        # sweep in expire() stays O(1) when no request has one (the
+        # common case: deadlines are an SLA feature, timeouts the norm).
+        self._with_deadline = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -35,14 +39,22 @@ class RequestQueue:
         prompt: Optional[str] = None,
         class_label: Optional[int] = None,
         now: float = 0.0,
+        tenant: str = "default",
+        priority: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> GenerationRequest:
         """Enqueue a new request and return it (with its assigned id)."""
+        from repro.serve.request import Priority
+
         request = GenerationRequest(
             request_id=self._next_id,
             seed=seed,
             prompt=prompt,
             class_label=class_label,
             submitted_at=now,
+            tenant=tenant,
+            priority=Priority.STANDARD if priority is None else priority,
+            deadline_s=deadline_s,
         )
         self._next_id += 1
         self.submit_request(request)
@@ -52,6 +64,8 @@ class RequestQueue:
         """Enqueue an externally-constructed request as-is."""
         self._pending.append(request)
         self.total_submitted += 1
+        if request.deadline_s is not None:
+            self._with_deadline += 1
 
     def oldest_wait(self, now: float) -> float:
         """Queue time of the oldest pending request; 0 when empty."""
@@ -59,21 +73,49 @@ class RequestQueue:
             return 0.0
         return max(0.0, now - self._pending[0].submitted_at)
 
-    def expire(self, now: float, timeout_s: float) -> list[GenerationRequest]:
-        """Drop (and return) pending requests that waited past ``timeout_s``.
+    def expire(
+        self, now: float, timeout_s: Optional[float] = None
+    ) -> list[GenerationRequest]:
+        """Drop (and return) requests past ``timeout_s`` or their deadline.
 
-        Used by the cluster event loop's SLO accounting: requests whose
-        queue wait exceeds the timeout are removed before the next batch
-        forms, so a stale request never occupies a batch slot. Submission
-        times are nondecreasing in a FIFO queue, so the expired requests
-        are a head prefix — the sweep stops at the first survivor, making
-        the no-op case (the common one) O(1).
+        Used by the cluster event loop's SLO accounting and by the batch
+        schedulers before every batching decision, so a stale request
+        never occupies a batch slot for a full denoising run. Two
+        independent criteria:
+
+        - **timeout**: queue wait exceeded ``timeout_s`` (skipped when
+          ``None``). Submission times are nondecreasing in a FIFO queue,
+          so these are a head prefix — the sweep stops at the first
+          survivor, making the no-op case O(1);
+        - **deadline**: ``now`` reached the request's absolute
+          ``deadline_s``. Deadlines are *not* FIFO-ordered, so this is a
+          full scan — gated on a counter of deadline-carrying requests,
+          keeping the deadline-free case (the common one) O(1).
         """
-        if timeout_s < 0.0:
+        if timeout_s is not None and timeout_s < 0.0:
             raise ValueError("timeout_s must be >= 0")
         expired: list[GenerationRequest] = []
-        while self._pending and now - self._pending[0].submitted_at > timeout_s:
-            expired.append(self._pending.popleft())
+        if timeout_s is not None:
+            while (
+                self._pending
+                and now - self._pending[0].submitted_at > timeout_s
+            ):
+                expired.append(self._pending.popleft())
+        if self._with_deadline and any(
+            r.deadline_s is not None for r in expired
+        ):
+            self._with_deadline -= sum(
+                1 for r in expired if r.deadline_s is not None
+            )
+        if self._with_deadline:
+            survivors: deque[GenerationRequest] = deque()
+            for request in self._pending:
+                if request.deadline_s is not None and now >= request.deadline_s:
+                    expired.append(request)
+                    self._with_deadline -= 1
+                else:
+                    survivors.append(request)
+            self._pending = survivors
         return expired
 
     def pop(self, max_size: int) -> list[GenerationRequest]:
@@ -83,4 +125,8 @@ class RequestQueue:
         batch = []
         while self._pending and len(batch) < max_size:
             batch.append(self._pending.popleft())
+        if self._with_deadline:
+            self._with_deadline -= sum(
+                1 for r in batch if r.deadline_s is not None
+            )
         return batch

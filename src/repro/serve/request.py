@@ -10,10 +10,24 @@ coalesces requests into micro-batches and returns one
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.pipeline import GenerationResult
+
+
+class Priority(enum.IntEnum):
+    """Strict request priority classes, higher value served first.
+
+    ``INTERACTIVE`` preempts long-running lower classes at dense-phase
+    boundaries in the continuous scheduler; ``BATCH`` is the best-effort
+    background tier (relying on aging for starvation freedom).
+    """
+
+    BATCH = 0
+    STANDARD = 1
+    INTERACTIVE = 2
 
 
 @dataclass(frozen=True)
@@ -22,7 +36,10 @@ class GenerationRequest:
 
     ``request_id`` orders results back to clients; ``submitted_at`` is the
     queue clock reading at submission, used by the max-wait batching
-    policy and for per-request latency accounting.
+    policy and for per-request latency accounting. ``tenant``/``priority``
+    feed the continuous scheduler's fair queuing and preemption;
+    ``deadline_s`` is an *absolute* clock reading after which serving the
+    request is pointless (SLA admission and boundary expiry both check it).
     """
 
     request_id: int
@@ -30,6 +47,9 @@ class GenerationRequest:
     prompt: Optional[str] = None
     class_label: Optional[int] = None
     submitted_at: float = 0.0
+    tenant: str = "default"
+    priority: int = Priority.STANDARD
+    deadline_s: Optional[float] = None
 
 
 @dataclass

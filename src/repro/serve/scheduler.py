@@ -19,16 +19,26 @@ from repro.serve.request import GenerationRequest
 
 @dataclass(frozen=True)
 class BatchingPolicy:
-    """Knobs of the micro-batching decision."""
+    """Knobs of the micro-batching decision.
+
+    ``timeout_s`` bounds queue wait: requests older than it are swept at
+    every batching decision (before a batch forms), alongside any
+    per-request absolute deadline — so an expired request never occupies
+    a batch slot for a full denoising run. ``None`` disables the sweep's
+    timeout criterion (deadlines are always honored).
+    """
 
     max_batch_size: int = 8
     max_wait_s: float = 0.0
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_wait_s < 0.0:
             raise ValueError("max_wait_s must be >= 0")
+        if self.timeout_s is not None and self.timeout_s < 0.0:
+            raise ValueError("timeout_s must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -55,6 +65,20 @@ class Scheduler:
         self.queue = queue
         self.policy = policy if policy is not None else BatchingPolicy()
         self.batches_formed = 0
+        self.expired_total = 0
+        self.last_expired: list[GenerationRequest] = []
+
+    def sweep(self, now: float = 0.0) -> list[GenerationRequest]:
+        """Drop timed-out/deadline-passed requests before any decision.
+
+        Every batching decision calls this first, so expiry is re-checked
+        at batch-formation time — not only when an external poller (the
+        cluster event loop) happens to sweep. The dropped requests are
+        returned and kept in ``last_expired`` for caller accounting.
+        """
+        self.last_expired = self.queue.expire(now, self.policy.timeout_s)
+        self.expired_total += len(self.last_expired)
+        return self.last_expired
 
     def ready(self, now: float = 0.0) -> bool:
         """Whether a batch should be dispatched at time ``now``."""
@@ -66,6 +90,7 @@ class Scheduler:
 
     def next_batch(self, now: float = 0.0) -> Optional[MicroBatch]:
         """Dispatch the next micro-batch, or ``None`` if not ready."""
+        self.sweep(now)
         if not self.ready(now):
             return None
         requests = self.queue.pop(self.policy.max_batch_size)
@@ -74,6 +99,7 @@ class Scheduler:
 
     def drain(self, now: float = 0.0) -> Iterator[MicroBatch]:
         """Flush everything queued as maximal FIFO batches (ignores waits)."""
+        self.sweep(now)
         while not self.queue.is_empty:
             requests = self.queue.pop(self.policy.max_batch_size)
             self.batches_formed += 1

@@ -59,6 +59,7 @@ class ServeReport:
 
     requests_served: int = 0
     batches_served: int = 0
+    requests_expired: int = 0  # swept at batch formation (timeout/deadline)
     busy_s: float = 0.0  # time spent inside batched generation
     queue_wait_s: float = 0.0  # summed per-request wait before dispatch
     timing_source: str = "wall_clock"
@@ -88,6 +89,7 @@ class ServeReport:
         return {
             "requests_served": self.requests_served,
             "batches_served": self.batches_served,
+            "requests_expired": self.requests_expired,
             "mean_batch_size": self.mean_batch_size,
             "busy_s": self.busy_s,
             "queue_wait_s": self.queue_wait_s,
@@ -158,11 +160,15 @@ class ExionServer:
         seed: int = 0,
         prompt: Optional[str] = None,
         class_label: Optional[int] = None,
+        tenant: str = "default",
+        priority: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> int:
         """Enqueue one generation request; returns its request id."""
         request = self.queue.submit(
             seed=seed, prompt=prompt, class_label=class_label,
-            now=self._clock(),
+            now=self._clock(), tenant=tenant, priority=priority,
+            deadline_s=deadline_s,
         )
         return request.request_id
 
@@ -195,6 +201,7 @@ class ExionServer:
         return ServeReport(
             requests_served=self._requests_served,
             batches_served=self._batches_served,
+            requests_expired=self.scheduler.expired_total,
             busy_s=self._busy_s,
             queue_wait_s=self._wait_s,
             timing_source=(

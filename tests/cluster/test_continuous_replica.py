@@ -1,0 +1,184 @@
+"""Cluster-layer tests of continuous batching: tick pricing, the
+continuous replica's event-loop contract, and the trace schema the
+multi-tenant scheduler consumes.
+
+The load-bearing fact is the additivity of
+:meth:`ServiceTimeModel.tick_latency_s`: whole-generation latencies from
+the hardware walk must decompose exactly into one cold tick plus priced
+dense/sparse steady-state ticks, because the continuous replica bills
+simulated time per tick while the drain replica bills per generation —
+any pricing drift would make the two modes incomparable.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterRequest,
+    ContinuousReplica,
+    MMPPProcess,
+    PoissonProcess,
+    Replica,
+    ServiceTimeModel,
+    SLOPolicy,
+    WorkloadMix,
+    build_replicas,
+    load_trace,
+    make_router,
+    save_trace,
+    simulate_cluster,
+    synthesize_trace,
+)
+from repro.core.config import ExionConfig
+from repro.core.ffn_reuse import schedule_phases
+from repro.serve import BatchingPolicy, ContinuousPolicy
+from repro.workloads.specs import get_spec
+
+
+# ----------------------------------------------------------------------
+# per-tick pricing
+# ----------------------------------------------------------------------
+class TestTickPricing:
+    @pytest.mark.parametrize("batch_size", [1, 4, 8])
+    @pytest.mark.parametrize("ablation", ["base", "all"])
+    def test_ticks_sum_to_generation_latency(self, ablation, batch_size):
+        """cold + (D-1) dense + S sparse == the whole-generation price."""
+        stm = ServiceTimeModel("exion4")
+        model = "dit"
+        iterations = get_spec(model).total_iterations
+        config = ExionConfig.for_model(model).ablation(ablation)
+        sparse_n = config.sparse_iters_n if config.enable_ffn_reuse else 0
+        flags = schedule_phases(iterations, sparse_n)
+        dense, sparse = sum(flags), len(flags) - sum(flags)
+
+        total = (
+            stm.tick_latency_s(model, ablation, batch_size, "cold")
+            + (dense - 1)
+            * stm.tick_latency_s(model, ablation, batch_size, "dense")
+            + sparse
+            * stm.tick_latency_s(model, ablation, batch_size, "sparse")
+        )
+        assert total == pytest.approx(
+            stm.latency_s(model, ablation, batch_size), rel=1e-6
+        )
+
+    def test_without_ffn_reuse_every_tick_is_dense(self):
+        stm = ServiceTimeModel("exion4")
+        dense = stm.tick_latency_s("dit", "base", 1, "dense")
+        sparse = stm.tick_latency_s("dit", "base", 1, "sparse")
+        assert dense == sparse  # no sparse phase exists; one uniform price
+
+    def test_sparse_tick_cheaper_than_dense(self):
+        """The point of FFN-Reuse: riding the compiled phase costs less
+        than recompiling it."""
+        stm = ServiceTimeModel("exion4")
+        assert stm.tick_latency_s("dit", "all", 1, "sparse") < (
+            stm.tick_latency_s("dit", "all", 1, "dense")
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            ServiceTimeModel("exion4").tick_latency_s("dit", "all", 1, "warm")
+
+
+# ----------------------------------------------------------------------
+# fleet wiring
+# ----------------------------------------------------------------------
+def _trace(n=20, deadline_s=7.0):
+    return synthesize_trace(
+        MMPPProcess(0.8, 4.0, 5.0),
+        n,
+        mix=WorkloadMix(models=("dit",), ablation="all"),
+        rng=0,
+        deadline_s=deadline_s,
+        tenants=("a", "b"),
+    )
+
+
+def _simulate(continuous):
+    stm = ServiceTimeModel("exion4")
+    if continuous:
+        policy = ContinuousPolicy(max_batch_size=4)
+    else:
+        policy = BatchingPolicy(max_batch_size=4, max_wait_s=0.0)
+    return simulate_cluster(
+        _trace(),
+        replicas=build_replicas(
+            1, policy=policy, service_model=stm, continuous=continuous,
+            tenant_weights={"a": 2.0, "b": 1.0} if continuous else None,
+        ),
+        router=make_router("round_robin"),
+        slo=SLOPolicy(latency_target_s=7.0),
+        scenario={"seed": 0},
+    )
+
+
+class TestContinuousFleet:
+    def test_requests_conserved_and_usage_extended(self):
+        report = _simulate(continuous=True)
+        drops = report.admission_drops + report.timeout_drops
+        assert report.served + drops == report.submitted
+        usage = report.replicas[0]
+        # Drain-compatible keys stay, continuous counters appear.
+        for key in ("requests_served", "busy_s", "utilization", "ticks",
+                    "mean_occupancy", "joins", "preemptions",
+                    "deadline_evictions"):
+            assert key in usage
+        assert usage["ticks"] > 0
+        assert usage["mean_occupancy"] > 0.0
+
+    def test_fleet_is_deterministic(self):
+        assert _simulate(True).to_json() == _simulate(True).to_json()
+
+    def test_policy_docs_identify_the_mode(self):
+        continuous = build_replicas(
+            1, policy=ContinuousPolicy(max_batch_size=4, quantum=2.0),
+            service_model=ServiceTimeModel("exion4"), continuous=True,
+        )[0]
+        assert isinstance(continuous, ContinuousReplica)
+        assert continuous.policy_doc() == {
+            "mode": "continuous",
+            "max_batch_size": 4,
+            "quantum": 2.0,
+            "preempt": True,
+        }
+        drain = build_replicas(
+            1, policy=BatchingPolicy(max_batch_size=4, max_wait_s=0.5),
+            service_model=ServiceTimeModel("exion4"),
+        )[0]
+        assert isinstance(drain, Replica)
+        # Byte-stable report contract of the drain fleet: exactly the
+        # two keys scenario["policy"] always carried.
+        assert drain.policy_doc() == {"max_batch_size": 4, "max_wait_s": 0.5}
+
+    def test_tenant_weights_require_continuous(self):
+        with pytest.raises(ValueError, match="continuous"):
+            build_replicas(
+                1, service_model=ServiceTimeModel("exion4"),
+                tenant_weights={"a": 2.0},
+            )
+
+
+# ----------------------------------------------------------------------
+# trace schema: tenants, priorities, deadlines
+# ----------------------------------------------------------------------
+class TestTraceSchema:
+    def test_deadline_and_tenant_assignment(self):
+        trace = _trace(n=6, deadline_s=3.0)
+        assert [r.tenant for r in trace] == ["a", "b", "a", "b", "a", "b"]
+        for request in trace:
+            assert request.deadline_s == pytest.approx(request.arrival_s + 3.0)
+
+    def test_deadline_before_arrival_rejected(self):
+        with pytest.raises(ValueError, match="deadline_s"):
+            ClusterRequest(arrival_s=5.0, model="dit", deadline_s=4.0)
+        with pytest.raises(ValueError, match="deadline_s"):
+            synthesize_trace(PoissonProcess(1.0), 3, deadline_s=0.0)
+
+    def test_round_trip_preserves_scheduler_fields(self, tmp_path):
+        trace = _trace(n=5, deadline_s=2.5)
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert loaded == sorted(trace, key=lambda r: r.arrival_s)
+        assert {r.tenant for r in loaded} == {"a", "b"}
+        assert all(r.deadline_s is not None for r in loaded)
