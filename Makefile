@@ -13,11 +13,11 @@ LATENCY_MIN_ABS ?= 0.25
 # Coverage floor (percent) enforced on the numerically-critical packages.
 COV_FLOOR ?= 75
 COV_PKGS := --cov=repro.core --cov=repro.program --cov=repro.exec \
-	--cov=repro.serve --cov=repro.cluster
+	--cov=repro.serve --cov=repro.cluster --cov=repro.obs
 
 .PHONY: help test lint coverage bench bench-smoke bench-compare \
-	cluster-smoke serve-smoke explore-smoke program-smoke smoke \
-	docs-check check
+	cluster-smoke serve-smoke explore-smoke program-smoke trace-smoke \
+	smoke docs-check check
 
 help:  ## list targets with their descriptions
 	@awk -F':.*## ' '/^[a-zA-Z][a-zA-Z0-9_-]*:.*## / \
@@ -76,7 +76,14 @@ program-smoke:  ## lowering-pipeline parity bench + CLI plan inspection
 		--run program_lowering --out $(BENCH_OUT)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro program --model dit
 
-smoke: bench-smoke serve-smoke cluster-smoke explore-smoke program-smoke  ## all *-smoke targets
+trace-smoke:  ## observability gate bench + deterministic Perfetto trace
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench \
+		--run obs_overhead --out $(BENCH_OUT)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace --model dit \
+		--continuous --iterations 12 --out $(BENCH_OUT)/trace.json
+
+smoke: bench-smoke serve-smoke cluster-smoke explore-smoke program-smoke \
+	trace-smoke  ## all *-smoke targets
 
 docs-check:  ## docstring + __all__ export lint
 	$(PYTHON) tools/docs_check.py

@@ -183,6 +183,44 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_obs_outputs(
+    observer, metrics_out=None, trace_out=None, events_out=None
+) -> None:
+    """Write the observer's metrics / trace / event-log files, if asked.
+
+    ``metrics_out`` picks its format by extension: ``.json`` gets the
+    canonical registry snapshot, anything else the Prometheus text
+    exposition. The Chrome trace is schema-validated before writing so a
+    broken exporter fails the command instead of producing a file
+    Perfetto rejects.
+    """
+    from repro.obs import (
+        chrome_trace,
+        chrome_trace_json,
+        events_jsonl,
+        validate_chrome_trace,
+    )
+
+    if trace_out is not None:
+        count = validate_chrome_trace(chrome_trace(observer.tracer))
+        with open(trace_out, "w", encoding="utf-8") as fh:
+            fh.write(chrome_trace_json(observer.tracer))
+        print(f"wrote {trace_out} ({count} trace events; "
+              "open in Perfetto or chrome://tracing)")
+    if metrics_out is not None:
+        if str(metrics_out).endswith(".json"):
+            text = observer.metrics.to_json()
+        else:
+            text = observer.metrics.to_prometheus()
+        with open(metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {metrics_out}")
+    if events_out is not None:
+        with open(events_out, "w", encoding="utf-8") as fh:
+            fh.write(events_jsonl(observer.tracer))
+        print(f"wrote {events_out}")
+
+
 def _parse_tenant_weights(spec):
     """``"alice=2,bob=1"`` (or bare names, weight 1.0) -> weight dict."""
     if not spec:
@@ -203,6 +241,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import BatchingPolicy, ExionServer
 
     config = ExionConfig.for_model(args.model).ablation(args.ablation)
+    observer = None
+    if args.metrics_out or args.trace_out:
+        from repro.obs import Observer
+
+        observer = Observer()
+    # --simulate ACCEL: the server reads a simulated clock and prices
+    # batches/ticks with the hardware latency model, so the report (and
+    # any --json/--trace-out/--metrics-out output) is byte-identical
+    # across runs and machines. Generation itself still executes.
+    clock = None
+    if args.simulate is not None:
+        from repro.cluster.replica import ServiceTimeModel, SimClock
+        from repro.obs.scenario import make_service_time, make_tick_time
+
+        clock = SimClock()
+        service_model = ServiceTimeModel(
+            args.simulate, iterations=args.iterations
+        )
     if args.continuous:
         from repro.serve import ContinuousPolicy, ContinuousServer
 
@@ -222,11 +278,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             total_iterations=args.iterations,
             calibrate=args.calibrate,
             calibration_seed=args.calibration_seed,
+            observer=observer,
+            **(
+                {}
+                if clock is None
+                else dict(
+                    clock=clock,
+                    tick_time=make_tick_time(
+                        service_model, args.model, args.ablation
+                    ),
+                )
+            ),
         )
         tenants = sorted(weights) if weights else ["default"]
+        now_fn = clock if clock is not None else time.perf_counter
         for i in range(args.requests):
             deadline = (
-                time.perf_counter() + args.deadline
+                now_fn() + args.deadline
                 if args.deadline is not None else None
             )
             server.submit(
@@ -236,7 +304,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 tenant=tenants[i % len(tenants)],
                 deadline_s=deadline,
             )
-        results = server.run_until_drained()
+        if clock is not None:
+            from repro.obs.scenario import drain_simulated
+
+            results = drain_simulated(server, clock)
+        else:
+            results = server.run_until_drained()
     else:
         server = ExionServer(
             args.model,
@@ -247,6 +320,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             total_iterations=args.iterations,
             calibrate=args.calibrate,
             calibration_seed=args.calibration_seed,
+            observer=observer,
+            **(
+                {}
+                if clock is None
+                else dict(
+                    clock=clock,
+                    service_time=make_service_time(
+                        service_model, args.model, args.ablation
+                    ),
+                )
+            ),
         )
         for i in range(args.requests):
             server.submit(
@@ -254,18 +338,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 prompt=args.prompt,
                 class_label=args.class_label,
             )
-        # Serve through step() so the batching policy governs dispatch:
-        # full batches go immediately, a partial tail waits --max-wait.
-        results = []
-        while True:
-            served = server.step()
-            if served:
-                results.extend(served)
-            elif len(server.queue) == 0:
-                break
-            else:
-                time.sleep(min(0.05, max(args.max_wait, 0.001)))
-        results.sort(key=lambda r: r.request_id)
+        if clock is not None:
+            from repro.obs.scenario import drain_simulated
+
+            results = drain_simulated(server, clock)
+        else:
+            # Serve through step() so the batching policy governs
+            # dispatch: full batches go immediately, a partial tail
+            # waits --max-wait.
+            results = []
+            while True:
+                served = server.step()
+                if served:
+                    results.extend(served)
+                elif len(server.queue) == 0:
+                    break
+                else:
+                    time.sleep(min(0.05, max(args.max_wait, 0.001)))
+            results.sort(key=lambda r: r.request_id)
     report = server.report()
 
     rows = [
@@ -294,6 +384,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"mean_occupancy={report.mean_occupancy:.2f} "
               f"joins={report.joins} preemptions={report.preemptions} "
               f"expired={report.requests_expired}")
+
+    if args.json is not None:
+        from repro.program.encode import canonical_json
+
+        doc = {
+            "model": args.model,
+            "ablation": args.ablation,
+            "continuous": args.continuous,
+            "simulate": args.simulate,
+            "requests_submitted": args.requests,
+            "summary": report.summary(),
+            "requests": [
+                {
+                    "request_id": r.request_id,
+                    "seed": r.request.seed,
+                    "tenant": r.request.tenant,
+                    "priority": int(r.request.priority),
+                    "batch_size": r.batch_size,
+                    "wait_s": r.wait_s,
+                    "service_s": r.service_s,
+                    "ffn_output_sparsity":
+                        r.result.stats.ffn_output_sparsity,
+                    "attention_output_sparsity":
+                        r.result.stats.attention_output_sparsity,
+                }
+                for r in results
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(canonical_json(doc))
+        print(f"wrote {args.json}")
+    if observer is not None:
+        _write_obs_outputs(
+            observer, metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+        )
 
     if args.compare_sequential and args.requests > 0:
         from repro.core.pipeline import ExionPipeline
@@ -394,18 +520,57 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         # so reported service times match the claimed samples.
         iterations=args.iterations,
     )
+    observer = None
+    if args.metrics_out or args.trace_out:
+        from repro.obs import Observer
+
+        # Cluster time is simulated end to end, so the trace and
+        # metrics written below are byte-deterministic per (seed, fleet).
+        observer = Observer()
     report = simulate_cluster(
         requests,
         replicas=replicas,
         router=make_router(args.router),
         slo=slo,
         scenario={"arrival": arrival_doc, "seed": args.seed},
+        observer=observer,
     )
     print(report.render())
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write(report.to_json())
         print(f"wrote {args.json}")
+    if observer is not None:
+        _write_obs_outputs(
+            observer, metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Observer, run_trace_scenario
+
+    observer = Observer()
+    summary = run_trace_scenario(
+        model=args.model,
+        ablation=args.ablation,
+        accelerator=args.accelerator,
+        continuous=args.continuous,
+        requests=args.requests,
+        iterations=args.iterations,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        observer=observer,
+    )
+    _write_obs_outputs(
+        observer,
+        metrics_out=args.metrics_out,
+        trace_out=args.out,
+        events_out=args.events_out,
+    )
+    for key, value in summary.items():
+        print(f"  {key:22s} {value}")
     return 0
 
 
@@ -724,6 +889,21 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--tenants", default=None,
                      help="tenant weights 'alice=2,bob=1'; requests are "
                           "assigned round-robin (continuous mode)")
+    srv.add_argument("--simulate", default=None, metavar="ACCEL",
+                     choices=["exion4", "exion24", "exion42"],
+                     help="run in simulated time: batch/tick durations "
+                          "come from this accelerator's latency model, "
+                          "so the report and any --json/--trace-out "
+                          "output are byte-identical across runs")
+    srv.add_argument("--json", default=None,
+                     help="write a canonical serve-report JSON here "
+                          "(deterministic with --simulate)")
+    srv.add_argument("--metrics-out", default=None,
+                     help="write metrics here after serving (.json for "
+                          "the canonical snapshot, else Prometheus text)")
+    srv.add_argument("--trace-out", default=None,
+                     help="write a Chrome trace-event JSON of the run "
+                          "here (deterministic with --simulate)")
     srv.set_defaults(func=_cmd_serve)
 
     clu = sub.add_parser(
@@ -785,6 +965,12 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--tenants", default=None,
                      help="tenant fair-queuing weights 'alice=2,bob=1' "
                           "(continuous mode)")
+    clu.add_argument("--metrics-out", default=None,
+                     help="write fleet metrics here (.json for the "
+                          "canonical snapshot, else Prometheus text)")
+    clu.add_argument("--trace-out", default=None,
+                     help="write a Chrome trace-event JSON of request "
+                          "lifecycles and dispatches here")
     clu.set_defaults(func=_cmd_cluster)
 
     exp = sub.add_parser(
@@ -835,6 +1021,38 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--json", default=None,
                      help="write the canonical ExploreReport JSON here")
     exp.set_defaults(func=_cmd_explore)
+
+    trc = sub.add_parser(
+        "trace",
+        help="emit a deterministic Chrome/Perfetto trace of a simulated "
+             "serving scenario",
+    )
+    trc.add_argument("--model", default="dit")
+    trc.add_argument("--ablation", default="all",
+                     choices=["base", "ep", "ffnr", "all"])
+    trc.add_argument("--accelerator", default="exion24",
+                     choices=["exion4", "exion24", "exion42"],
+                     help="latency model pricing ticks and arrivals")
+    trc.add_argument("--continuous", action="store_true",
+                     help="trace the continuous-batching server "
+                          "(joins/preemptions/evictions) instead of "
+                          "drain-and-refill micro-batching")
+    trc.add_argument("--requests", type=int, default=8)
+    trc.add_argument("--batch-size", type=int, default=2)
+    trc.add_argument("--iterations", type=int, default=None,
+                     help="denoising iterations (default: paper scale)")
+    trc.add_argument("--seed", type=int, default=0,
+                     help="first request seed; same seed -> "
+                          "byte-identical trace")
+    trc.add_argument("--out", default="trace.json",
+                     help="Chrome trace-event JSON output path (open in "
+                          "Perfetto or chrome://tracing)")
+    trc.add_argument("--metrics-out", default=None,
+                     help="also write metrics (.json canonical snapshot, "
+                          "else Prometheus text)")
+    trc.add_argument("--events-out", default=None,
+                     help="also write the flat JSONL event log")
+    trc.set_defaults(func=_cmd_trace)
 
     prg = sub.add_parser(
         "program",

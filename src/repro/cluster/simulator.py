@@ -43,19 +43,28 @@ class ClusterSimulator:
         replicas: list,
         router: Router,
         slo: Optional[SLOPolicy] = None,
+        observer=None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
         self.replicas = list(replicas)
         self.router = router
         self.slo = slo if slo is not None else SLOPolicy()
+        # Nil-by-default observability: request lifecycles, dispatch
+        # spans and SLO drops are recorded only when an observer is
+        # installed; every timestamp is simulated time, so traces are
+        # byte-deterministic per (trace, seed, fleet).
+        self.observer = observer
 
     # ------------------------------------------------------------------
     def run(self, requests: list, scenario: Optional[dict] = None) -> ClusterReport:
         """Simulate every request to completion (served or dropped)."""
+        observer = self.observer
         events: list = []
         seq = count()
+        request_ids: dict = {}
         for request in sorted(requests, key=lambda r: r.arrival_s):
+            request_ids[id(request)] = len(request_ids)
             heapq.heappush(
                 events, (request.arrival_s, next(seq), _ARRIVAL, request)
             )
@@ -77,26 +86,66 @@ class ClusterSimulator:
                 # and admission depths count live requests only (a stale
                 # queue must produce timeout drops, not admission drops).
                 for member in self.replicas:
-                    member.expire(t, self.slo.timeout_s)
+                    self._observe_drops(
+                        member.expire(t, self.slo.timeout_s), t
+                    )
                 replica = self.router.choose(payload, self.replicas, t)
                 accepted = replica.enqueue(
                     payload, t, max_queue_depth=self.slo.max_queue_depth
                 )
+                if observer is not None:
+                    rid = request_ids[id(payload)]
+                    observer.on_request_stage(
+                        "queued", t, rid, model=payload.model,
+                        replica=replica.name,
+                    )
+                    if not accepted:
+                        observer.on_request_stage(
+                            "rejected", t, rid, model=payload.model,
+                            replica=replica.name,
+                        )
+                    observer.on_queue_depth(
+                        replica.name, replica.queue_depth()
+                    )
                 if accepted:
                     self._schedule(events, seq, replica, t, bump=False)
             else:
                 replica = payload
-                if replica.expire(t, self.slo.timeout_s):
+                swept = replica.expire(t, self.slo.timeout_s)
+                if swept:
                     horizon = max(horizon, t)
+                    self._observe_drops(swept, t)
                 outcome = replica.try_dispatch(t)
                 if outcome is not None:
                     dispatches += 1
                     horizon = max(horizon, outcome.completion_s)
                     for record in outcome.served:
                         accumulator.record(record.wait_s, record.service_s)
+                    if observer is not None:
+                        observer.on_dispatch(
+                            replica.name, t, outcome.completion_s,
+                            outcome.batch_size, outcome.model,
+                        )
+                        for record in outcome.served:
+                            observer.on_request_stage(
+                                "served", outcome.completion_s,
+                                record.request_id, replica=replica.name,
+                                wait_s=record.wait_s,
+                                service_s=record.service_s,
+                            )
                 self._schedule(events, seq, replica, t, bump=True)
 
         return self._report(requests, accumulator, horizon, scenario)
+
+    def _observe_drops(self, dropped: list, now: float) -> None:
+        """Record swept requests as SLO events (observer installed only)."""
+        if self.observer is None:
+            return
+        for drop in dropped:
+            self.observer.on_slo_event(
+                drop.reason, now, model=drop.model,
+                waited_s=drop.waited_s,
+            )
 
     # ------------------------------------------------------------------
     def _schedule(
@@ -147,8 +196,17 @@ class ClusterSimulator:
             **self.router.describe(),
             **(scenario or {}),
         }
+        usage = [r.usage(horizon) for r in self.replicas]
+        if self.observer is not None:
+            for row in usage:
+                self.observer.on_replica_utilization(
+                    row["name"], row["utilization"]
+                )
         return ClusterReport(
-            scenario=doc,
+            # Key-sorted at construction so the in-memory scenario/stats
+            # blocks iterate identically across runs, not only after the
+            # canonical to_json() pass re-sorts them.
+            scenario=dict(sorted(doc.items())),
             submitted=len(requests),
             served=served,
             admission_drops=admission_drops,
@@ -156,7 +214,7 @@ class ClusterSimulator:
             makespan_s=horizon,
             latency=accumulator.summary(),
             slo_attainment=accumulator.attainment(dropped=dropped),
-            replicas=[r.usage(horizon) for r in self.replicas],
+            replicas=[dict(sorted(row.items())) for row in usage],
             executed=any(r.execute for r in self.replicas),
         )
 
@@ -227,9 +285,10 @@ def simulate_cluster(
     router: Router,
     slo: Optional[SLOPolicy] = None,
     scenario: Optional[dict] = None,
+    observer=None,
 ) -> ClusterReport:
     """One-call convenience wrapper around :class:`ClusterSimulator`."""
-    return ClusterSimulator(replicas, router, slo).run(
+    return ClusterSimulator(replicas, router, slo, observer=observer).run(
         requests, scenario=scenario
     )
 

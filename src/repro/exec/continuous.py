@@ -138,6 +138,10 @@ class ContinuousExecutor:
         )
         self._preds = build_prediction_tables(model.network, config)
         self._pipeline = model.make_pipeline()
+        #: Optional :class:`repro.obs.observer.Observer`; the owning
+        #: server stamps ``observer.now`` before each tick (the executor
+        #: has no clock of its own).
+        self.observer = None
         # Batch-wide caches, valid only for one membership signature.
         self._membership: tuple = ()
         self._ffn_batch: dict = {}  # block -> _BatchedFFNPhaseState
@@ -226,6 +230,11 @@ class ContinuousExecutor:
             # Index-set edit: the batch-wide caches die with the old
             # membership; FFN stacks are rebuilt lazily from per-run
             # state, K/V stacks from per-run contexts. No re-trace.
+            if self.observer is not None:
+                self.observer.on_index_set_edit(
+                    len(self._membership), len(membership),
+                    rebuilt=bool(self._membership),
+                )
             self._membership = membership
             self._ffn_batch = {}
             self._cross_kv = {}

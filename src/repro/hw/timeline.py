@@ -66,6 +66,31 @@ class Timeline:
         return (sum(dense) / len(dense)) / (sum(sparse) / len(sparse))
 
 
+def phase_segments(timeline: Timeline) -> list:
+    """Contiguous trace segments of a priced timeline, in plan order.
+
+    Each iteration becomes one segment dict shaped for
+    :meth:`repro.obs.observer.Observer.on_phase_segment`: start/end are
+    cumulative latency offsets from generation start (iteration k begins
+    when k-1's latency ends — the accelerator serializes iterations), so
+    the segments tile ``[0, total_latency_s)`` exactly.
+    """
+    segments = []
+    clock = 0.0
+    for record in timeline.records:
+        segments.append({
+            "start_s": clock,
+            "end_s": clock + record.latency_s,
+            "phase": "dense" if record.is_dense else "sparse",
+            "bound": record.bound,
+            "index": record.index,
+            "dram_bytes": record.dram_bytes,
+            "macs_computed": record.macs_computed,
+        })
+        clock += record.latency_s
+    return segments
+
+
 def simulate_timeline(
     accelerator: ExionAccelerator,
     spec: ModelSpec,

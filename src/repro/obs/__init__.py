@@ -1,0 +1,44 @@
+"""Zero-dependency observability: metrics, traces, exporters.
+
+Everything here is deterministic by construction — timestamps come from
+the owning layer's simulated clock (never the wall clock), metric
+snapshots and trace records iterate in sorted order, and all JSON is
+canonical — so traces and metric dumps are byte-identical across
+same-seed runs. Instrumentation is nil-by-default: hot layers accept an
+optional :class:`Observer` and guard every hook with one ``is not
+None`` branch, so an unobserved run does exactly the pre-obs work.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    events_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricFamily, MetricsRegistry
+from repro.obs.observer import Observer
+from repro.obs.scenario import (
+    drain_simulated,
+    make_service_time,
+    make_tick_time,
+    run_trace_scenario,
+)
+from repro.obs.trace import Event, Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Event",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Observer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_json",
+    "drain_simulated",
+    "events_jsonl",
+    "make_service_time",
+    "make_tick_time",
+    "run_trace_scenario",
+    "validate_chrome_trace",
+]

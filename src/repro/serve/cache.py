@@ -41,6 +41,22 @@ class ThresholdCache:
         self._pipelines: dict = {}
         self.hits = 0
         self.misses = 0
+        # Per-memo-level hit/miss counts, surfaced through info() (and
+        # therefore ServeReport) and the obs metrics registry.
+        self.level_hits = {"model": 0, "table": 0, "pipeline": 0}
+        self.level_misses = {"model": 0, "table": 0, "pipeline": 0}
+        #: Optional :class:`repro.obs.observer.Observer`.
+        self.observer = None
+
+    def _record(self, level: str, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+            self.level_hits[level] += 1
+        else:
+            self.misses += 1
+            self.level_misses[level] += 1
+        if self.observer is not None:
+            self.observer.on_cache_lookup(level, hit)
 
     # ------------------------------------------------------------------
     # memo levels
@@ -55,9 +71,9 @@ class ThresholdCache:
         """Build (or reuse) a benchmark model."""
         key = model_cache_key(name, seed, total_iterations, depth)
         if key in self._models:
-            self.hits += 1
+            self._record("model", True)
             return self._models[key]
-        self.misses += 1
+        self._record("model", False)
         built = build_model(
             name, seed=seed, total_iterations=total_iterations, depth=depth
         )
@@ -85,9 +101,9 @@ class ThresholdCache:
             calibration_seed,
         )
         if key in self._tables:
-            self.hits += 1
+            self._record("table", True)
             return self._tables[key]
-        self.misses += 1
+        self._record("table", False)
         model = self.model(name, model_seed, total_iterations, depth)
         calibrator = ThresholdCalibrator(
             target_sparsity=config.ffn_target_sparsity,
@@ -123,9 +139,9 @@ class ThresholdCache:
             calibration_seed if calibrate else None,
         )
         if key in self._pipelines:
-            self.hits += 1
+            self._record("pipeline", True)
             return self._pipelines[key]
-        self.misses += 1
+        self._record("pipeline", False)
         model = self.model(name, model_seed, total_iterations, depth)
         table = None
         if calibrate and config.enable_ffn_reuse:
@@ -144,14 +160,18 @@ class ThresholdCache:
     # introspection
     # ------------------------------------------------------------------
     def info(self) -> dict:
-        """Cache occupancy and hit statistics."""
-        return {
+        """Cache occupancy and hit statistics, keys sorted for stable diffs."""
+        info = {
             "models": len(self._models),
             "tables": len(self._tables),
             "pipelines": len(self._pipelines),
             "hits": self.hits,
             "misses": self.misses,
         }
+        for level in self.level_hits:
+            info[f"{level}_hits"] = self.level_hits[level]
+            info[f"{level}_misses"] = self.level_misses[level]
+        return dict(sorted(info.items()))
 
     def clear(self) -> None:
         """Drop every memoized artifact (frees the model weights)."""

@@ -342,6 +342,7 @@ class ContinuousServer:
         tick_time: Optional[Callable[[int, bool], float]] = None,
         dry_run: bool = False,
         retain_results: bool = True,
+        observer=None,
     ) -> None:
         self.model_name = model_name
         self.config = (
@@ -353,6 +354,10 @@ class ContinuousServer:
         self.tick_time = tick_time
         self.dry_run = dry_run
         self.retain_results = retain_results
+        # Nil-by-default observability: every hook below is guarded by
+        # an `is not None` check, so a server without an observer does
+        # exactly the work it did before the obs layer existed.
+        self.observer = observer
         self._model_seed = model_seed
         self._total_iterations = total_iterations
         self._depth = depth
@@ -360,6 +365,8 @@ class ContinuousServer:
         self._calibrate = calibrate
         self._calibration_seed = calibration_seed
 
+        if observer is not None:
+            self.cache.observer = observer
         if dry_run:
             self._executor = None
             spec = get_spec(model_name)
@@ -371,6 +378,7 @@ class ContinuousServer:
             )
         else:
             self._executor = self._build_executor()
+            self._executor.observer = observer
             self.plan = self._executor.compiled_plan
 
         self.queue = FairQueue(
@@ -490,14 +498,20 @@ class ContinuousServer:
         """
         if now is None:
             now = self._clock()
+        observer = self.observer
+        if observer is not None:
+            observer.now = now
         if self.at_boundary():
             self._rebalance(now)
+        if observer is not None:
+            observer.on_queue_depth("continuous", len(self.queue))
         if not self.active:
             self.last_tick_s = 0.0
             return []
 
         batch_size = len(self.active)
-        is_dense = self.plan.steps[self.active[0].cursor].is_dense
+        cursor = self.active[0].cursor
+        is_dense = self.plan.steps[cursor].is_dense
         if self.dry_run:
             for run in self.active:
                 run.cursor += 1
@@ -540,6 +554,13 @@ class ContinuousServer:
                 "kind": "complete", "now": completed_at,
                 "request_id": run.request_id, "batch_size": batch_size,
             })
+            if observer is not None:
+                observer.on_membership(
+                    "complete", completed_at, run.request_id,
+                    batch_size=batch_size,
+                )
+        if observer is not None:
+            observer.on_tick(now, completed_at, batch_size, is_dense, cursor)
         self._ticks += 1
         self._occupancy_ticks += batch_size
         self._busy_s += tick_s
@@ -603,6 +624,10 @@ class ContinuousServer:
                 "kind": "expire", "now": now,
                 "request_id": entry.request.request_id, "reason": reason,
             })
+            if self.observer is not None:
+                self.observer.on_membership(
+                    "expire", now, entry.request.request_id, reason=reason,
+                )
         return [entry.request for entry in dropped]
 
     def _sla_feasible(self, entry: QueueEntry, now: float) -> bool:
@@ -634,6 +659,11 @@ class ContinuousServer:
                     "request_id": run.request_id, "cursor": run.cursor,
                     "active_cursors": active_cursors,
                 })
+                if self.observer is not None:
+                    self.observer.on_membership(
+                        "evict", now, run.request_id,
+                        reason="deadline", cursor=run.cursor,
+                    )
 
         # Priority preemption: while the batch is full and someone
         # strictly more urgent waits, evict the least urgent member
@@ -667,6 +697,11 @@ class ContinuousServer:
                         run.cursor for run in self.active
                     ),
                 })
+                if self.observer is not None:
+                    self.observer.on_membership(
+                        "evict", now, victim.request_id,
+                        reason="preempt", cursor=victim.cursor,
+                    )
 
         # Joins: fill free slots under priority + weighted fair queuing,
         # restricted to entries whose schedule aligns with the members'.
@@ -704,6 +739,11 @@ class ContinuousServer:
                 "resumed": entry.run is not None,
                 "active_cursors": tuple(cursors[:-1]),
             })
+            if self.observer is not None:
+                self.observer.on_membership(
+                    "join", now, run.request_id,
+                    cursor=run.cursor, resumed=entry.run is not None,
+                )
 
     # ------------------------------------------------------------------
     # reporting

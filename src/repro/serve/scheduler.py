@@ -60,10 +60,16 @@ class Scheduler:
     """Forms micro-batches from a :class:`RequestQueue` under a policy."""
 
     def __init__(
-        self, queue: RequestQueue, policy: Optional[BatchingPolicy] = None
+        self,
+        queue: RequestQueue,
+        policy: Optional[BatchingPolicy] = None,
+        observer=None,
     ) -> None:
         self.queue = queue
         self.policy = policy if policy is not None else BatchingPolicy()
+        #: Optional :class:`repro.obs.observer.Observer`; queue depth is
+        #: gauged at every batching decision when installed.
+        self.observer = observer
         self.batches_formed = 0
         self.expired_total = 0
         self.last_expired: list[GenerationRequest] = []
@@ -78,6 +84,8 @@ class Scheduler:
         """
         self.last_expired = self.queue.expire(now, self.policy.timeout_s)
         self.expired_total += len(self.last_expired)
+        if self.observer is not None:
+            self.observer.on_queue_depth("scheduler", len(self.queue))
         return self.last_expired
 
     def ready(self, now: float = 0.0) -> bool:

@@ -96,7 +96,9 @@ class ServeReport:
             "mean_wait_s": self.mean_wait_s,
             "samples_per_s": self.samples_per_s,
             "timing_source": self.timing_source,
-            **{f"cache_{k}": v for k, v in self.cache_info.items()},
+            # Sorted so two runs' summaries diff stably regardless of
+            # the order cache_info accumulated its keys.
+            **{f"cache_{k}": v for k, v in sorted(self.cache_info.items())},
         }
 
 
@@ -119,6 +121,7 @@ class ExionServer:
         retain_results: bool = True,
         service_time: Optional[Callable[[MicroBatch], float]] = None,
         dry_run: bool = False,
+        observer=None,
     ) -> None:
         model_cache_key(model_name, model_seed, total_iterations, depth)
         self.model_name = model_name
@@ -126,8 +129,14 @@ class ExionServer:
             config if config is not None else ExionConfig.for_model(model_name)
         )
         self.cache = cache if cache is not None else ThresholdCache()
+        # Nil-by-default observability: hooks only fire when an observer
+        # is installed, so the unobserved server is byte-for-byte the
+        # pre-obs code path.
+        self.observer = observer
+        if observer is not None:
+            self.cache.observer = observer
         self.queue = RequestQueue()
-        self.scheduler = Scheduler(self.queue, policy)
+        self.scheduler = Scheduler(self.queue, policy, observer=observer)
         self._clock = clock
         self.service_time = service_time
         self.dry_run = dry_run
@@ -249,4 +258,10 @@ class ExionServer:
         self._requests_served += len(served)
         self._batches_served += 1
         self._busy_s += service_s
+        if self.observer is not None:
+            # The batch executes starting at its formation instant; with
+            # a simulated service_time hook both endpoints are sim-time.
+            self.observer.on_batch(
+                batch.formed_at, batch.formed_at + service_s, len(batch),
+            )
         return served

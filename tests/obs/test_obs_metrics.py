@@ -1,0 +1,129 @@
+"""Unit tests for the zero-dependency metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricFamily
+
+
+class TestFamilies:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", labels=("level",))
+        c.inc(level="model")
+        c.inc(2, level="model")
+        c.inc(level="table")
+        assert c.value(level="model") == 3
+        assert c.value(level="table") == 1
+        assert c.value(level="pipeline") == 0.0  # never touched
+
+    def test_counter_rejects_decrements(self):
+        c = MetricsRegistry().counter("n_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_overwrites(self):
+        g = MetricsRegistry().gauge("depth", labels=("q",))
+        g.set(4, q="a")
+        g.set(2, q="a")
+        assert g.value(q="a") == 2.0
+
+    def test_histogram_buckets_and_sum(self):
+        h = MetricsRegistry().histogram("fill", buckets=(1, 2, 4))
+        for v in (1, 2, 3, 100):
+            h.observe(v)
+        ((values, child),) = h.children()
+        assert values == ()
+        assert child.bucket_counts == [1, 1, 1, 1]  # le=1,2,4,+Inf
+        assert child.sum == 106
+        assert child.count == 4
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        with pytest.raises(TypeError):
+            c.set(1.0)
+        with pytest.raises(TypeError):
+            c.observe(1.0)
+        with pytest.raises(TypeError):
+            reg.gauge("g").inc()
+
+    def test_label_schema_enforced(self):
+        c = MetricsRegistry().counter("y_total", labels=("kind",))
+        with pytest.raises(ValueError):
+            c.inc()  # missing label
+        with pytest.raises(ValueError):
+            MetricFamily("bad name", "counter")
+        with pytest.raises(ValueError):
+            MetricFamily("g", "gauge", buckets=(1,))
+
+    def test_default_buckets_are_sorted_powers_of_two(self):
+        assert DEFAULT_BUCKETS == tuple(sorted(DEFAULT_BUCKETS))
+
+
+class TestRegistry:
+    def test_reregistration_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", labels=("level",))
+        b = reg.counter("hits_total", labels=("level",))
+        assert a is b
+        assert len(reg) == 1
+
+    def test_reregistration_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", labels=("level",))
+        with pytest.raises(ValueError):
+            reg.gauge("hits_total")
+        with pytest.raises(ValueError):
+            reg.counter("hits_total", labels=("other",))
+
+    def test_snapshot_orders_families_and_children(self):
+        reg = MetricsRegistry()
+        reg.counter("zzz_total").inc()
+        c = reg.counter("aaa_total", labels=("k",))
+        c.inc(k="b")
+        c.inc(k="a")
+        snap = reg.snapshot()
+        assert [f["name"] for f in snap["families"]] == [
+            "aaa_total", "zzz_total",
+        ]
+        assert [s["labels"]["k"] for s in snap["families"][0]["series"]] == [
+            "a", "b",
+        ]
+
+    def test_to_json_is_canonical_and_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.gauge("depth", labels=("component",)).set(3, component="q")
+            reg.histogram("fill").observe(2)
+            return reg
+
+        j1, j2 = build().to_json(), build().to_json()
+        assert j1 == j2
+        assert j1.endswith("\n")
+        doc = json.loads(j1)
+        assert json.dumps(
+            doc, sort_keys=True, separators=(",", ":")
+        ) + "\n" == j1
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_hits_total", "Cache hits", labels=("level",))
+        c.inc(3, level="model")
+        h = reg.histogram("repro_fill", buckets=(1, 2))
+        h.observe(1)
+        h.observe(5)
+        text = reg.to_prometheus()
+        lines = text.splitlines()
+        assert "# HELP repro_hits_total Cache hits" in lines
+        assert "# TYPE repro_hits_total counter" in lines
+        assert 'repro_hits_total{level="model"} 3' in lines
+        # Buckets are cumulative and end with +Inf.
+        assert 'repro_fill_bucket{le="1"} 1' in lines
+        assert 'repro_fill_bucket{le="2"} 1' in lines
+        assert 'repro_fill_bucket{le="+Inf"} 2' in lines
+        assert "repro_fill_sum 6" in lines
+        assert "repro_fill_count 2" in lines
+        assert text.endswith("\n")

@@ -29,7 +29,12 @@ class TestModelMemo:
         assert cache.info()["models"] == 1
         assert cache.info() == {
             "models": 1, "tables": 0, "pipelines": 0, "hits": 1, "misses": 1,
+            "model_hits": 1, "model_misses": 1,
+            "table_hits": 0, "table_misses": 0,
+            "pipeline_hits": 0, "pipeline_misses": 0,
         }
+        # keys come out sorted so diffs of two runs line up
+        assert list(cache.info()) == sorted(cache.info())
 
     def test_different_key_builds_new_model(self):
         cache = ThresholdCache()
