@@ -13,11 +13,12 @@ LATENCY_MIN_ABS ?= 0.25
 # Coverage floor (percent) enforced on the numerically-critical packages.
 COV_FLOOR ?= 75
 COV_PKGS := --cov=repro.core --cov=repro.program --cov=repro.exec \
-	--cov=repro.serve --cov=repro.cluster --cov=repro.obs
+	--cov=repro.serve --cov=repro.cluster --cov=repro.obs \
+	--cov=repro.obs.analyze
 
 .PHONY: help test lint coverage bench bench-smoke bench-compare \
 	cluster-smoke serve-smoke explore-smoke program-smoke trace-smoke \
-	smoke docs-check check
+	obs-analyze-smoke smoke docs-check check
 
 help:  ## list targets with their descriptions
 	@awk -F':.*## ' '/^[a-zA-Z][a-zA-Z0-9_-]*:.*## / \
@@ -82,8 +83,17 @@ trace-smoke:  ## observability gate bench + deterministic Perfetto trace
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace --model dit \
 		--continuous --iterations 12 --out $(BENCH_OUT)/trace.json
 
+obs-analyze-smoke:  ## trace-analytics gate bench + CLI analyze/diff run
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench \
+		--run obs_analysis --out $(BENCH_OUT)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro obs analyze --continuous \
+		--iterations 12 --out $(BENCH_OUT)/analysis.json \
+		--html $(BENCH_OUT)/analysis.html
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro obs diff \
+		$(BENCH_OUT)/analysis.json $(BENCH_OUT)/analysis.json
+
 smoke: bench-smoke serve-smoke cluster-smoke explore-smoke program-smoke \
-	trace-smoke  ## all *-smoke targets
+	trace-smoke obs-analyze-smoke  ## all *-smoke targets
 
 docs-check:  ## docstring + __all__ export lint
 	$(PYTHON) tools/docs_check.py

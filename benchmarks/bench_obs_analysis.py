@@ -1,0 +1,107 @@
+"""The trace-analytics hard gate: exact conservation, byte-stable output.
+
+``repro.obs.analyze`` promises that its analysis of a simulated trace is
+**exact** (every request's wait/service components sum bit-for-bit to
+its end-to-end latency; per-tenant tick shares sum to fleet busy time)
+and **byte-deterministic** (same-seed runs produce identical analysis
+JSON and identical HTML reports, and ``diff_analyses`` between them is
+clean). This bench pins all of it:
+
+- two same-seed trace scenarios, analyzed independently — the canonical
+  JSON and rendered HTML must be byte-identical;
+- conservation residuals (max per-request, tenant-vs-busy) must be 0 ns;
+- the self-diff must report zero regressions;
+- headline analysis numbers (served count, busy seconds, p95) ride
+  along so attribution drift shows up in the baseline compare.
+
+Run with::
+
+    pytest benchmarks/bench_obs_analysis.py --import-mode=importlib -s
+"""
+
+from repro.bench import BenchResult, register_bench
+from repro.obs import Observer, run_trace_scenario
+from repro.obs.analyze import analyze_tracer, diff_analyses, render_html
+
+from .conftest import emit_result
+
+MODEL = "dit"
+ITERATIONS = 12
+REQUESTS = 8
+
+
+def _analyze_once():
+    observer = Observer()
+    run_trace_scenario(
+        model=MODEL, continuous=True, requests=REQUESTS,
+        iterations=ITERATIONS, observer=observer,
+    )
+    report = analyze_tracer(observer.tracer, meta={"model": MODEL})
+    return report, report.to_json(), render_html(report)
+
+
+@register_bench("obs_analysis", tags=("obs", "smoke"))
+def build_obs_analysis(ctx):
+    report1, json1, html1 = _analyze_once()
+    report2, json2, html2 = _analyze_once()
+    attribution = report1.attribution
+    latency = attribution.latency_summary()
+    diff = diff_analyses(report1.to_dict(), report2.to_dict())
+
+    result = BenchResult("obs_analysis", model=MODEL)
+    result.add_metric(
+        "json_identical", 1.0 if json1 == json2 else 0.0,
+        direction="higher_better", tolerance=0.0,
+    )
+    result.add_metric(
+        "html_identical", 1.0 if html1 == html2 else 0.0,
+        direction="higher_better", tolerance=0.0,
+    )
+    result.add_metric(
+        "max_request_residual_ns",
+        float(attribution.max_request_residual_ns()),
+        unit="ns", direction="lower_better", tolerance=0.0,
+    )
+    result.add_metric(
+        "tenant_residual_ns", float(attribution.tenant_residual_ns()),
+        unit="ns", direction="lower_better", tolerance=0.0,
+    )
+    result.add_metric(
+        "self_diff_regressions", float(len(diff["regressions"])),
+        direction="lower_better", tolerance=0.0,
+    )
+    result.add_metric("requests", float(len(attribution.requests)),
+                      unit="requests")
+    result.add_metric("served", float(latency["count"]), unit="requests")
+    result.add_metric("busy_s", attribution.busy_ns / 1e9, unit="s")
+    result.add_metric("latency_p95_s", latency["p95_ns"] / 1e9, unit="s",
+                      direction="lower_better")
+    result.add_metric(
+        "critical_path_s", report1.path.total_ns / 1e9, unit="s",
+    )
+    result.add_series(
+        "Fleet attribution (exactly conserved)",
+        ["component", "ms"],
+        [
+            [key.removesuffix("_ns"), f"{value / 1e6:.3f}"]
+            for key, value in attribution.fleet_components().items()
+        ],
+    )
+    result.add_note(
+        "Attribution arithmetic is integer nanoseconds over shared "
+        "breakpoints, so components telescope to each request's exact "
+        "latency and per-tenant tick shares sum to fleet busy time — "
+        "residual metrics above are hard zeros, not tolerances."
+    )
+    return result
+
+
+def test_obs_analysis(bench_ctx):
+    result = build_obs_analysis(bench_ctx)
+    emit_result(result)
+
+    assert result.value("json_identical") == 1.0
+    assert result.value("html_identical") == 1.0
+    assert result.value("max_request_residual_ns") == 0.0
+    assert result.value("tenant_residual_ns") == 0.0
+    assert result.value("self_diff_regressions") == 0.0

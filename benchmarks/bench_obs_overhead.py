@@ -85,7 +85,10 @@ def build_obs_overhead(ctx):
     plain, plain_report, _ = _serve(None)
     observed, obs_report, _ = _serve(Observer())
     identical = _identical_outputs(plain, observed)
-    skip = ("busy_s", "queue_wait_s", "mean_wait_s", "samples_per_s")
+    skip = (
+        "busy_s", "queue_wait_s", "mean_wait_s", "samples_per_s",
+        "latency_p50_s", "latency_p95_s", "latency_p99_s",
+    )
     summaries_match = all(
         plain_report.summary()[k] == obs_report.summary()[k]
         for k in plain_report.summary()

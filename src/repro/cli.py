@@ -574,6 +574,145 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_slo_flags(specs):
+    """``--slo name:latency:<secs>:<target>`` flags -> SLOSpec list."""
+    from repro.obs.analyze import parse_slo_spec
+
+    if not specs:
+        return None
+    try:
+        return [parse_slo_spec(spec) for spec in specs]
+    except ValueError as exc:
+        raise SystemExit(f"bad --slo: {exc}")
+
+
+def _obs_build_report(args):
+    """Build an :class:`AnalysisReport` for ``obs analyze``/``report``.
+
+    With ``--input`` the trace artifact (Chrome trace JSON or event
+    JSONL) is loaded from disk; otherwise the deterministic trace
+    scenario runs inline, and ``--trace-out`` additionally exports its
+    Chrome trace with the computed SLO alert instants appended — so the
+    timeline viewer shows exactly the alerts the analyzer reported.
+    """
+    from repro.obs.analyze import alert_events, analyze_path, analyze_tracer
+
+    slos = _parse_slo_flags(args.slo)
+    if args.input is not None:
+        return analyze_path(args.input, slos=slos)
+
+    from repro.obs import Observer, run_trace_scenario
+
+    observer = Observer()
+    run_trace_scenario(
+        model=args.model,
+        ablation=args.ablation,
+        accelerator=args.accelerator,
+        continuous=args.continuous,
+        requests=args.requests,
+        iterations=args.iterations,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        observer=observer,
+        cold_start=args.cold_start,
+    )
+    report = analyze_tracer(
+        observer.tracer, slos=slos,
+        meta={"model": args.model, "scenario": True, "seed": args.seed},
+    )
+    if getattr(args, "trace_out", None):
+        for name, ts_s, payload in alert_events(report.slo):
+            observer.tracer.event(name, "obs/slo", ts_s, **payload)
+        _write_obs_outputs(observer, trace_out=args.trace_out)
+    return report
+
+
+def _obs_print_summary(report) -> None:
+    attribution = report.attribution
+    fleet = attribution.fleet_components()
+    latency = attribution.latency_summary()
+    rows = [
+        [key.removesuffix("_ns"), f"{value / 1e6:.3f}"]
+        for key, value in fleet.items()
+    ]
+    print(format_table(
+        ["component", "ms"], rows,
+        title=f"Fleet attribution ({attribution.mode} mode)",
+    ))
+    alerts = sum(len(doc["alerts"]) for doc in report.slo.values())
+    print(f"requests {len(attribution.requests)}  "
+          f"served {latency['count']}  "
+          f"p95 {latency['p95_ns'] / 1e6:.3f} ms  "
+          f"busy {attribution.busy_ns / 1e9:.6f} s  "
+          f"critical path {report.path.total_ns / 1e9:.6f} s  "
+          f"slo alerts {alerts}")
+    residual = max(
+        attribution.max_request_residual_ns(),
+        attribution.tenant_residual_ns(),
+    )
+    print(f"conservation residual {residual} ns")
+
+
+def _cmd_obs_analyze(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import render_html
+
+    report = _obs_build_report(args)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(report.to_json())
+    print(f"wrote {args.out}")
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(report))
+        print(f"wrote {args.html}")
+    _obs_print_summary(report)
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import render_html
+
+    report = _obs_build_report(args)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(render_html(report, title=args.title))
+    print(f"wrote {args.out} (open in any browser; no assets needed)")
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.analyze import diff_analyses
+
+    with open(args.base, encoding="utf-8") as fh:
+        base = _json.load(fh)
+    with open(args.current, encoding="utf-8") as fh:
+        current = _json.load(fh)
+    diff = diff_analyses(base, current, tolerance=args.tolerance)
+
+    for kind in ("regressions", "improvements"):
+        entries = diff[kind]
+        if not entries:
+            continue
+        print(format_table(
+            ["metric", "base", "current", "delta"],
+            [[e["metric"], e["base"], e["current"], e["delta"]]
+             for e in entries],
+            title=kind,
+        ))
+    for title, deltas in (
+        ("component deltas (ns)", diff["attribution"]["components_ns"]),
+        ("tenant tick deltas (ns)", diff["attribution"]["tenants_tick_ns"]),
+    ):
+        if deltas:
+            print(format_table(
+                ["name", "delta"], list(deltas.items()), title=title,
+            ))
+    print(f"{len(diff['regressions'])} regressions, "
+          f"{len(diff['improvements'])} improvements, "
+          f"{diff['unchanged']} unchanged")
+    return 1 if diff["regressions"] else 0
+
+
 def _parse_set_expression(expression: str) -> tuple:
     """Parse one ``--set DIM=V1[,V2...]`` into ``(name, values)``."""
     import json as _json
@@ -1053,6 +1192,70 @@ def build_parser() -> argparse.ArgumentParser:
     trc.add_argument("--events-out", default=None,
                      help="also write the flat JSONL event log")
     trc.set_defaults(func=_cmd_trace)
+
+    obs = sub.add_parser(
+        "obs",
+        help="trace analytics: critical path, wait attribution, "
+             "per-tenant cost, SLO error budgets",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def _add_obs_source_args(p):
+        p.add_argument("--input", default=None,
+                       help="trace artifact to analyze (Chrome trace "
+                            "JSON or event JSONL); omit to run the "
+                            "deterministic trace scenario inline")
+        p.add_argument("--slo", action="append", default=None,
+                       metavar="SPEC",
+                       help="SLO spec 'name:latency:<secs>:<target>' or "
+                            "'name:deadline:<target>' (repeatable; "
+                            "default: latency-250ms + deadline-hit)")
+        p.add_argument("--model", default="dit")
+        p.add_argument("--ablation", default="all",
+                       choices=["base", "ep", "ffnr", "all"])
+        p.add_argument("--accelerator", default="exion24",
+                       choices=["exion4", "exion24", "exion42"])
+        p.add_argument("--continuous", action="store_true")
+        p.add_argument("--requests", type=int, default=8)
+        p.add_argument("--batch-size", type=int, default=2)
+        p.add_argument("--iterations", type=int, default=None)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--cold-start", action="store_true",
+                       help="charge a cold-start surcharge on the "
+                            "scenario's first tick")
+
+    oba = obs_sub.add_parser(
+        "analyze",
+        help="produce the canonical analysis JSON (and optional HTML)",
+    )
+    _add_obs_source_args(oba)
+    oba.add_argument("--out", default="analysis.json",
+                     help="canonical analysis JSON output path")
+    oba.add_argument("--html", default=None,
+                     help="also render the static HTML report here")
+    oba.add_argument("--trace-out", default=None,
+                     help="scenario mode: also export the Chrome trace "
+                          "with SLO alert instants appended")
+    oba.set_defaults(func=_cmd_obs_analyze)
+
+    obr = obs_sub.add_parser(
+        "report", help="render the zero-dependency static HTML report"
+    )
+    _add_obs_source_args(obr)
+    obr.add_argument("--out", default="report.html")
+    obr.add_argument("--title", default=None)
+    obr.set_defaults(func=_cmd_obs_report)
+
+    obd = obs_sub.add_parser(
+        "diff",
+        help="compare two analysis JSON files; exit 1 on regressions",
+    )
+    obd.add_argument("base", help="baseline analysis JSON")
+    obd.add_argument("current", help="current analysis JSON")
+    obd.add_argument("--tolerance", type=float, default=0.0,
+                     help="relative movement tolerated before a metric "
+                          "counts as regressed/improved")
+    obd.set_defaults(func=_cmd_obs_diff)
 
     prg = sub.add_parser(
         "program",

@@ -89,7 +89,9 @@ class ServiceTimeModel:
         self.cold_start = cold_start
         self._profiles: dict = {}
         self._latencies: dict = {}
+        self._energies: dict = {}
         self._tick_latencies: dict = {}
+        self._tick_energies: dict = {}
 
     @property
     def name(self) -> str:
@@ -125,7 +127,16 @@ class ServiceTimeModel:
                 plan, self._profile(model)
             )
             self._latencies[key] = report.latency_s
+            self._energies[key] = report.energy_j
         return self._latencies[key]
+
+    def energy_j(self, model: str, ablation: str, batch_size: int) -> float:
+        """Simulated energy of one micro-batch generation (same sim as
+        :meth:`latency_s` — priced together, never drifting apart)."""
+        key = (model, ablation, batch_size)
+        if key not in self._energies:
+            self.latency_s(model, ablation, batch_size)
+        return self._energies[key]
 
     def calibration_s(self, model: str) -> float:
         """Cold-start cost: one vanilla (Base ablation) batch-1 generation."""
@@ -159,34 +170,71 @@ class ServiceTimeModel:
             raise ValueError("batch_size must be >= 1")
         key = (model, ablation, batch_size)
         if key not in self._tick_latencies:
-            from repro.program import lower_plan
-
-            config = ExionConfig.for_model(model).ablation(ablation)
-            spec = get_spec(model)
-
-            def t(iterations: int) -> float:
-                plan = lower_plan(
-                    spec, config=config, iterations=iterations,
-                    batch=batch_size,
-                )
-                return self.accelerator.simulate_plan(
-                    plan, self._profile(model)
-                ).latency_s
-
-            cold = t(1)
-            period = (
-                config.sparse_iters_n + 1 if config.enable_ffn_reuse else 1
-            )
-            if period == 1:
-                dense = max(0.0, t(2) - cold)
-                sparse = dense  # no sparse iterations exist; same price
-            else:
-                sparse = max(0.0, t(2) - cold)
-                dense = max(0.0, t(period + 1) - t(period))
-            self._tick_latencies[key] = {
-                "cold": cold, "dense": dense, "sparse": sparse,
-            }
+            self._price_ticks(model, ablation, batch_size)
         return self._tick_latencies[key][kind]
+
+    def tick_energy_j(
+        self, model: str, ablation: str, batch_size: int, kind: str
+    ) -> float:
+        """Simulated energy of one denoising iteration of a batch.
+
+        Priced by the same plan differencing as :meth:`tick_latency_s`,
+        from the same simulations — per-tick latency and energy always
+        describe the same schedule.
+        """
+        if kind not in ("cold", "dense", "sparse"):
+            raise ValueError(f"unknown tick kind {kind!r}")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        key = (model, ablation, batch_size)
+        if key not in self._tick_energies:
+            self._price_ticks(model, ablation, batch_size)
+        return self._tick_energies[key][kind]
+
+    def _price_ticks(
+        self, model: str, ablation: str, batch_size: int
+    ) -> None:
+        """Price latency + energy of cold/dense/sparse ticks at once."""
+        from repro.program import lower_plan
+
+        key = (model, ablation, batch_size)
+        config = ExionConfig.for_model(model).ablation(ablation)
+        spec = get_spec(model)
+
+        def t(iterations: int) -> tuple:
+            plan = lower_plan(
+                spec, config=config, iterations=iterations,
+                batch=batch_size,
+            )
+            report = self.accelerator.simulate_plan(
+                plan, self._profile(model)
+            )
+            return report.latency_s, report.energy_j
+
+        cold, cold_e = t(1)
+        period = (
+            config.sparse_iters_n + 1 if config.enable_ffn_reuse else 1
+        )
+        if period == 1:
+            two, two_e = t(2)
+            dense = max(0.0, two - cold)
+            dense_e = max(0.0, two_e - cold_e)
+            sparse = dense  # no sparse iterations exist; same price
+            sparse_e = dense_e
+        else:
+            two, two_e = t(2)
+            sparse = max(0.0, two - cold)
+            sparse_e = max(0.0, two_e - cold_e)
+            after, after_e = t(period + 1)
+            at, at_e = t(period)
+            dense = max(0.0, after - at)
+            dense_e = max(0.0, after_e - at_e)
+        self._tick_latencies[key] = {
+            "cold": cold, "dense": dense, "sparse": sparse,
+        }
+        self._tick_energies[key] = {
+            "cold": cold_e, "dense": dense_e, "sparse": sparse_e,
+        }
 
 
 @dataclass(frozen=True)
@@ -206,7 +254,16 @@ class DroppedRequest:
 
 @dataclass
 class Dispatch:
-    """One micro-batch the replica started executing."""
+    """One micro-batch the replica started executing.
+
+    ``phase`` is the tick phase of a continuous dispatch ("dense" /
+    "sparse") or ``"batch"`` for a drain-mode micro-batch; ``cold_s``
+    is the cold-start surcharge included in ``service_s`` (0 when
+    warm); ``members`` lists ``(request_id, tenant, priority)`` of the
+    batch that actually executed (continuous: live-batch occupancy,
+    which exceeds ``served`` whenever runs continue past this tick);
+    ``energy_j`` is the simulated energy of the dispatch.
+    """
 
     replica: str
     model: str
@@ -214,6 +271,10 @@ class Dispatch:
     served: list
     started_s: float
     service_s: float
+    phase: str = "batch"
+    cold_s: float = 0.0
+    members: tuple = ()
+    energy_j: float = 0.0
 
     @property
     def completion_s(self) -> float:
@@ -254,6 +315,7 @@ class Replica:
         self.servers: dict = {}  # (model, ablation) -> ExionServer
         self.warm_keys: set = set()
         self._cold_paid: set = set()
+        self._last_cold_s = 0.0
         self.busy_until = 0.0
         self._inflight = 0
         self.busy_s = 0.0
@@ -309,7 +371,9 @@ class Replica:
                 if self.service_model.cold_start and key not in self._cold_paid:
                     self._cold_paid.add(key)
                     self.cold_starts += 1
-                    latency += self.service_model.calibration_s(model)
+                    cold_s = self.service_model.calibration_s(model)
+                    self._last_cold_s = cold_s
+                    latency += cold_s
                 return latency
 
             self.servers[key] = ExionServer(
@@ -449,6 +513,7 @@ class Replica:
         # FIFO across models: serve the batch whose head waited longest.
         _, (model, ablation), server = min(ready)
         self.clock.now = now
+        self._last_cold_s = 0.0
         served = server.step()
         if not served:  # pragma: no cover - ready() guarantees a batch
             return None
@@ -465,6 +530,16 @@ class Replica:
             served=served,
             started_s=now,
             service_s=service_s,
+            phase="batch",
+            cold_s=self._last_cold_s,
+            members=tuple(
+                (r.request.request_id, r.request.tenant,
+                 int(r.request.priority))
+                for r in served
+            ),
+            energy_j=self.service_model.energy_j(
+                model, ablation, len(served)
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -545,6 +620,7 @@ class ContinuousReplica:
         self.servers: dict = {}  # (model, ablation) -> ContinuousServer
         self.warm_keys: set = set()
         self._cold_paid: set = set()
+        self._last_cold_s = 0.0
         self._active_key: Optional[tuple] = None
         self.busy_until = 0.0
         self._inflight = 0
@@ -606,7 +682,9 @@ class ContinuousReplica:
                 if self.service_model.cold_start and key not in self._cold_paid:
                     self._cold_paid.add(key)
                     self.cold_starts += 1
-                    latency += self.service_model.calibration_s(model)
+                    cold_s = self.service_model.calibration_s(model)
+                    self._last_cold_s = cold_s
+                    latency += cold_s
                 return latency
 
             self.servers[key] = ContinuousServer(
@@ -737,6 +815,7 @@ class ContinuousReplica:
         model, ablation = key
         server = self.servers[key]
         self.clock.now = now
+        self._last_cold_s = 0.0
         served = server.step(now=now)
         self._collect_drops(now)
         tick_s = server.last_tick_s
@@ -749,6 +828,13 @@ class ContinuousReplica:
         self.busy_s += tick_s
         self.requests_served += len(served)
         self.batches_served += 1
+        members = tuple(server.last_tick_members)
+        phase = server.last_tick_phase or "batch"
+        energy_j = 0.0
+        if members and server.last_tick_phase:
+            energy_j = self.service_model.tick_energy_j(
+                model, ablation, len(members), server.last_tick_phase
+            )
         return Dispatch(
             replica=self.name,
             model=model,
@@ -756,6 +842,10 @@ class ContinuousReplica:
             served=served,
             started_s=now,
             service_s=tick_s,
+            phase=phase,
+            cold_s=self._last_cold_s,
+            members=members,
+            energy_j=energy_j,
         )
 
     # ------------------------------------------------------------------

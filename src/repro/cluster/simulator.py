@@ -98,6 +98,8 @@ class ClusterSimulator:
                     observer.on_request_stage(
                         "queued", t, rid, model=payload.model,
                         replica=replica.name,
+                        tenant=getattr(payload, "tenant", "default"),
+                        priority=int(getattr(payload, "priority", 1) or 1),
                     )
                     if not accepted:
                         observer.on_request_stage(
@@ -125,6 +127,12 @@ class ClusterSimulator:
                         observer.on_dispatch(
                             replica.name, t, outcome.completion_s,
                             outcome.batch_size, outcome.model,
+                            ablation=outcome.ablation,
+                            phase=outcome.phase,
+                            cold_s=outcome.cold_s,
+                            energy_j=outcome.energy_j,
+                            tenants=[m[1] for m in outcome.members],
+                            priorities=[m[2] for m in outcome.members],
                         )
                         for record in outcome.served:
                             observer.on_request_stage(
@@ -132,6 +140,9 @@ class ClusterSimulator:
                                 record.request_id, replica=replica.name,
                                 wait_s=record.wait_s,
                                 service_s=record.service_s,
+                                tenant=record.request.tenant,
+                                priority=int(record.request.priority),
+                                model=outcome.model,
                             )
                 self._schedule(events, seq, replica, t, bump=True)
 

@@ -9,6 +9,14 @@ optional :class:`Observer` and guard every hook with one ``is not
 None`` branch, so an unobserved run does exactly the pre-obs work.
 """
 
+from repro.obs.analyze import (
+    AnalysisReport,
+    TraceRecords,
+    analyze_path,
+    analyze_tracer,
+    diff_analyses,
+    render_html,
+)
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_json,
@@ -26,19 +34,25 @@ from repro.obs.scenario import (
 from repro.obs.trace import Event, Span, Tracer
 
 __all__ = [
+    "AnalysisReport",
     "DEFAULT_BUCKETS",
     "Event",
     "MetricFamily",
     "MetricsRegistry",
     "Observer",
     "Span",
+    "TraceRecords",
     "Tracer",
+    "analyze_path",
+    "analyze_tracer",
     "chrome_trace",
     "chrome_trace_json",
+    "diff_analyses",
     "drain_simulated",
     "events_jsonl",
     "make_service_time",
     "make_tick_time",
+    "render_html",
     "run_trace_scenario",
     "validate_chrome_trace",
 ]

@@ -1,0 +1,178 @@
+"""Critical-path extraction over span DAGs (classic CPM, integer ns).
+
+A node is a closed interval; an edge ``u -> v`` asserts that ``v``
+could not start before ``u`` finished (``v.start_ns >= u.end_ns`` —
+validated, because an edge violating it would let the "longest path"
+exceed physical time). The critical path is the dependency chain with
+the largest summed node duration; per-edge **slack** is the idle gap
+``v.start_ns - u.end_ns`` — how much the predecessor could slip without
+moving its successor.
+
+Everything is deterministic: ties in the DP break toward the smaller
+node key, and the topological order is Kahn's algorithm popping the
+smallest ready key. Singleton nodes are candidate paths too, which
+gives the two properties the hypothesis suite checks: the reported
+length is at least any single span's duration, and (since consecutive
+path nodes never overlap) at most the total extent of the trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CPNode:
+    """One interval in the dependency graph."""
+
+    key: str
+    start_ns: int
+    end_ns: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end_ns < self.start_ns:
+            raise ValueError(
+                f"node {self.key!r} ends at {self.end_ns} before start "
+                f"{self.start_ns}"
+            )
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class CriticalPath:
+    """The longest chain and its per-edge slack."""
+
+    total_ns: int = 0
+    nodes: list = field(default_factory=list)  # CPNode, chain order
+    edges: list = field(default_factory=list)  # {"from","to","slack_ns"}
+    #: Full extent of the analyzed graph (max end - min start): the
+    #: upper bound any valid critical path must respect.
+    span_ns: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "total_ns": self.total_ns,
+            "span_ns": self.span_ns,
+            "nodes": [
+                {
+                    "key": n.key,
+                    "label": n.label,
+                    "start_ns": n.start_ns,
+                    "end_ns": n.end_ns,
+                    "duration_ns": n.duration_ns,
+                }
+                for n in self.nodes
+            ],
+            "edges": list(self.edges),
+        }
+
+
+def critical_path(
+    nodes: Iterable[CPNode],
+    edges: Sequence[Tuple[str, str]],
+) -> CriticalPath:
+    """Longest chain (by summed duration) through an interval DAG.
+
+    ``edges`` are ``(from_key, to_key)`` pairs; every edge must respect
+    time (``to.start_ns >= from.end_ns``) and reference known keys.
+    Duplicate edges are collapsed. Raises :class:`ValueError` on
+    violations — a malformed graph must fail loudly, not produce a
+    plausible-looking wrong answer.
+    """
+    by_key = {}
+    for node in nodes:
+        if node.key in by_key:
+            raise ValueError(f"duplicate node key {node.key!r}")
+        by_key[node.key] = node
+    if not by_key:
+        return CriticalPath()
+
+    successors: dict = {key: set() for key in by_key}
+    indegree: dict = {key: 0 for key in by_key}
+    for u, v in edges:
+        if u not in by_key or v not in by_key:
+            raise ValueError(f"edge ({u!r}, {v!r}) references unknown node")
+        if by_key[v].start_ns < by_key[u].end_ns:
+            raise ValueError(
+                f"edge ({u!r}, {v!r}) violates time: successor starts at "
+                f"{by_key[v].start_ns} before predecessor end "
+                f"{by_key[u].end_ns}"
+            )
+        if v not in successors[u]:
+            successors[u].add(v)
+            indegree[v] += 1
+
+    # Kahn's algorithm with a min-heap on key: deterministic topo order.
+    ready = [key for key, deg in sorted(indegree.items()) if deg == 0]
+    heapq.heapify(ready)
+    best: dict = {}  # key -> (total_ns, predecessor key or None)
+    order = []
+    while ready:
+        key = heapq.heappop(ready)
+        order.append(key)
+        node = by_key[key]
+        incoming = best.get(key)
+        base = 0 if incoming is None else incoming[0]
+        best[key] = (base + node.duration_ns, None if incoming is None
+                     else incoming[1])
+        for succ in sorted(successors[key]):
+            candidate = (best[key][0], key)
+            current = best.get(succ)
+            # Strictly-greater keeps the first (smallest-key) winner on
+            # ties, which makes the reported path deterministic.
+            if current is None or candidate[0] > current[0]:
+                best[succ] = candidate
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(ready, succ)
+    if len(order) != len(by_key):
+        raise ValueError("dependency graph contains a cycle")
+
+    end_key = max(best, key=lambda k: (best[k][0], _neg_key(k)))
+    chain = []
+    cursor: Optional[str] = end_key
+    while cursor is not None:
+        chain.append(by_key[cursor])
+        cursor = best[cursor][1]
+    chain.reverse()
+
+    path_edges = [
+        {
+            "from": u.key,
+            "to": v.key,
+            "slack_ns": v.start_ns - u.end_ns,
+        }
+        for u, v in zip(chain, chain[1:])
+    ]
+    starts = [n.start_ns for n in by_key.values()]
+    ends = [n.end_ns for n in by_key.values()]
+    return CriticalPath(
+        total_ns=best[end_key][0],
+        nodes=chain,
+        edges=path_edges,
+        span_ns=max(ends) - min(starts),
+    )
+
+
+class _neg_key:
+    """Reverses string ordering so max() tie-breaks to the smaller key."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_neg_key") -> bool:
+        return self.key > other.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _neg_key) and self.key == other.key
+
+
+__all__ = ["CPNode", "CriticalPath", "critical_path"]

@@ -140,20 +140,36 @@ def validate_chrome_trace(doc: dict) -> int:
         if not isinstance(event.get("name"), str) or not event["name"]:
             raise ValueError(f"{where} needs a non-empty name")
         for key in ("pid", "tid"):
-            if not isinstance(event.get(key), int):
+            value = event.get(key)
+            # bool is an int subclass; a True tid is still malformed.
+            if not isinstance(value, int) or isinstance(value, bool):
                 raise ValueError(f"{where} needs integer {key}")
         if ph != "M":
             ts = event.get("ts")
-            if not isinstance(ts, (int, float)) or ts < 0:
-                raise ValueError(f"{where} needs ts >= 0")
+            if (
+                not isinstance(ts, (int, float))
+                or isinstance(ts, bool)
+                or ts != ts  # NaN
+                or ts in (float("inf"), float("-inf"))
+                or ts < 0
+            ):
+                raise ValueError(f"{where} needs finite ts >= 0")
         if ph == "X":
             dur = event.get("dur")
-            if not isinstance(dur, (int, float)) or dur < 0:
-                raise ValueError(f"{where} needs dur >= 0")
+            if (
+                not isinstance(dur, (int, float))
+                or isinstance(dur, bool)
+                or dur != dur
+                or dur in (float("inf"), float("-inf"))
+                or dur < 0
+            ):
+                raise ValueError(f"{where} needs finite dur >= 0")
         if ph == "i" and event.get("s") not in ("t", "p", "g"):
             raise ValueError(f"{where} needs instant scope s in t/p/g")
-        if ph == "M" and "name" not in event.get("args", {}):
-            raise ValueError(f"{where} metadata needs args.name")
+        if ph == "M":
+            args = event.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                raise ValueError(f"{where} metadata needs args.name")
         if ph in ("b", "e") and "id" not in event:
             raise ValueError(f"{where} async event needs an id")
     return len(events)

@@ -39,6 +39,55 @@ def _check_name(name: str) -> str:
     return name
 
 
+def escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    out = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def histogram_quantile(
+    buckets: Sequence[float],
+    bucket_counts: Sequence[int],
+    q: float,
+) -> float:
+    """Deterministic nearest-rank quantile over histogram buckets.
+
+    Returns the upper bound of the bucket containing the nearest-rank
+    sample — the smallest bound ``b`` such that at least ``ceil(q * n)``
+    observations are ≤ ``b``. Values that landed in the +Inf tail clamp
+    to the largest finite bound (canonical JSON rejects infinities, and
+    a report should never print one). Empty histograms quantile to 0.0.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(bucket_counts)
+    if total == 0:
+        return 0.0
+    rank = max(1, -(-total * q // 1))  # ceil(total * q), at least 1
+    cumulative = 0
+    for bound, count in zip(buckets, bucket_counts):
+        cumulative += count
+        if cumulative >= rank:
+            return float(bound)
+    return float(buckets[-1])
+
+
 class _Child:
     """One (family, label-values) series."""
 
@@ -151,6 +200,15 @@ class MetricFamily:
         child = self._children.get(self._values(**labels))
         return 0.0 if child is None else child.value
 
+    def quantile(self, q: float, **labels) -> float:
+        """Nearest-rank quantile of one histogram child (0.0 if empty)."""
+        if self.kind != "histogram":
+            raise TypeError(f"{self.name} is a {self.kind}, not a histogram")
+        child = self._children.get(self._values(**labels))
+        if child is None:
+            return 0.0
+        return histogram_quantile(self.buckets, child.bucket_counts, q)
+
     def children(self) -> list:
         """(label_values, child) pairs in deterministic sorted order."""
         return sorted(self._children.items(), key=lambda item: item[0])
@@ -246,6 +304,10 @@ class MetricsRegistry:
     def get(self, name: str) -> MetricFamily:
         return self._families[name]
 
+    def quantile(self, name: str, q: float, **labels) -> float:
+        """Nearest-rank quantile of a registered histogram's child."""
+        return self._families[name].quantile(q, **labels)
+
     def families(self) -> list:
         """Every family, sorted by name (the deterministic snapshot order)."""
         return [self._families[name] for name in sorted(self._families)]
@@ -280,7 +342,7 @@ class MetricsRegistry:
             lines.append(f"# TYPE {family.name} {family.kind}")
             for values, child in family.children():
                 labels = ",".join(
-                    f'{k}="{v}"'
+                    f'{k}="{escape_label_value(v)}"'
                     for k, v in zip(family.label_names, values)
                 )
                 suffix = "{" + labels + "}" if labels else ""
@@ -314,8 +376,81 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n"
 
 
+def parse_prometheus(text: str) -> dict:
+    """Parse Prometheus text exposition back into samples.
+
+    The inverse of :meth:`MetricsRegistry.to_prometheus`, used by the
+    round-trip test to prove exposition is lossless: returns
+    ``{metric_name: {"type": kind, "samples": [(labels_dict, value)]}}``
+    where histogram bucket/sum/count series appear under their full
+    sample names (``*_bucket``, ``*_sum``, ``*_count``).
+    """
+    out: dict = {}
+    declared_type: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            declared_type[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        name, labels, value = _parse_sample(line)
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = name[: -len(suffix)] if name.endswith(suffix) else None
+            if trimmed in declared_type:
+                base = trimmed
+                break
+        doc = out.setdefault(
+            name, {"type": declared_type.get(base, ""), "samples": []}
+        )
+        doc["samples"].append((labels, value))
+    return out
+
+
+def _parse_sample(line: str):
+    """One exposition line -> (name, labels dict, float value)."""
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        body, _, tail = rest.rpartition("}")
+        labels = _parse_labels(body)
+        value = float(tail.strip())
+        return name, labels, value
+    name, _, tail = line.partition(" ")
+    return name, {}, float(tail.strip())
+
+
+def _parse_labels(body: str) -> dict:
+    labels: dict = {}
+    index = 0
+    while index < len(body):
+        eq = body.index("=", index)
+        key = body[index:eq].lstrip(",").strip()
+        assert body[eq + 1] == '"', f"malformed label in {body!r}"
+        cursor = eq + 2
+        raw = []
+        while body[cursor] != '"':
+            if body[cursor] == "\\":
+                raw.append(body[cursor:cursor + 2])
+                cursor += 2
+            else:
+                raw.append(body[cursor])
+                cursor += 1
+        labels[key] = unescape_label_value("".join(raw))
+        index = cursor + 1
+    return labels
+
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "MetricFamily",
     "MetricsRegistry",
+    "escape_label_value",
+    "histogram_quantile",
+    "parse_prometheus",
+    "unescape_label_value",
 ]

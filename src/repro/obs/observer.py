@@ -125,15 +125,21 @@ class Observer:
         is_dense: bool,
         cursor: int,
         track: str = "serve/batch",
+        **args,
     ) -> Span:
-        """One denoising iteration of the live continuous batch."""
+        """One denoising iteration of the live continuous batch.
+
+        Extra keyword args (``boundary``, ``energy_j``, ``cold_s``,
+        tenancy enrichments) ride into the span so downstream analysis
+        is reproducible from the artifact alone.
+        """
         phase = "dense" if is_dense else "sparse"
         self._ticks.inc(phase=phase)
         self._tick_seconds.observe(end_s - start_s)
         self._batch_fill.observe(batch_size)
         return self.tracer.span(
             f"tick[{phase}]", track, start_s, end_s,
-            batch_size=batch_size, cursor=cursor, phase=phase,
+            batch_size=batch_size, cursor=cursor, phase=phase, **args,
         )
 
     def on_membership(
@@ -177,13 +183,14 @@ class Observer:
         end_s: float,
         batch_size: int,
         track: str = "serve/batch",
+        **args,
     ) -> Span:
         """One micro-batch served end-to-end by the drain-mode server."""
         self._batches.inc()
         self._batch_seconds.observe(end_s - start_s)
         self._batch_fill.observe(batch_size)
         return self.tracer.span(
-            "batch", track, start_s, end_s, batch_size=batch_size,
+            "batch", track, start_s, end_s, batch_size=batch_size, **args,
         )
 
     def on_cache_lookup(self, level: str, hit: bool) -> None:
@@ -213,13 +220,14 @@ class Observer:
         end_s: float,
         batch_size: int,
         model: str,
+        **args,
     ) -> Span:
         """One priced batch executing on a cluster replica."""
         self._dispatches.inc(replica=replica)
         self._batch_fill.observe(batch_size)
         return self.tracer.span(
             f"dispatch[{model}]", f"replica/{replica}", start_s, end_s,
-            batch_size=batch_size, model=model,
+            batch_size=batch_size, model=model, **args,
         )
 
     def on_replica_utilization(self, replica: str, busy_frac: float) -> None:

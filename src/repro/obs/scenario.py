@@ -51,6 +51,19 @@ def make_tick_time(
     return tick_time
 
 
+def make_tick_energy(
+    service_model: ServiceTimeModel, model: str, ablation: str
+):
+    """Per-iteration energy price hook for a :class:`ContinuousServer`."""
+
+    def tick_energy(batch_size: int, is_dense: bool) -> float:
+        return service_model.tick_energy_j(
+            model, ablation, batch_size, "dense" if is_dense else "sparse"
+        )
+
+    return tick_energy
+
+
 def make_service_time(
     service_model: ServiceTimeModel, model: str, ablation: str
 ):
@@ -96,6 +109,7 @@ def run_trace_scenario(
     batch_size: int = 2,
     seed: int = 0,
     observer: Optional[Observer] = None,
+    cold_start: bool = False,
 ) -> dict:
     """Run one deterministic dry-run serving scenario under an observer.
 
@@ -122,6 +136,12 @@ def run_trace_scenario(
             total_iterations=iterations,
             clock=clock,
             tick_time=make_tick_time(service_model, model, ablation),
+            tick_energy=make_tick_energy(service_model, model, ablation),
+            cold_start_s=(
+                service_model.tick_latency_s(model, ablation, 1, "cold")
+                if cold_start
+                else None
+            ),
             dry_run=True,
             observer=observer,
         )

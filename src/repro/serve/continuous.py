@@ -340,6 +340,8 @@ class ContinuousServer:
         calibration_seed: int = 0,
         clock=time.perf_counter,
         tick_time: Optional[Callable[[int, bool], float]] = None,
+        tick_energy: Optional[Callable[[int, bool], float]] = None,
+        cold_start_s: Optional[float] = None,
         dry_run: bool = False,
         retain_results: bool = True,
         observer=None,
@@ -352,6 +354,14 @@ class ContinuousServer:
         self.cache = cache if cache is not None else ThresholdCache()
         self._clock = clock
         self.tick_time = tick_time
+        #: Optional ``(batch_size, is_dense) -> joules`` price attached
+        #: to every tick span (cost accounting enrichment).
+        self.tick_energy = tick_energy
+        #: Optional one-time surcharge added to the first tick (model
+        #: load / first-compile). Opt-in: default None keeps timing
+        #: identical to pre-enrichment servers.
+        self.cold_start_s = cold_start_s
+        self._cold_charged = False
         self.dry_run = dry_run
         self.retain_results = retain_results
         # Nil-by-default observability: every hook below is guarded by
@@ -390,6 +400,12 @@ class ContinuousServer:
         self.events: list[dict] = []
         self.results: dict[int, RequestResult] = {}
         self.last_tick_s = 0.0
+        #: Phase ("dense"/"sparse") and (id, tenant, priority) members
+        #: of the most recent tick — read by the cluster replica to
+        #: enrich dispatch spans.
+        self.last_tick_phase = ""
+        self.last_tick_members: list = []
+        self.last_tick_cold_s = 0.0
         self._next_id = 0
         self._joined_at: dict[int, float] = {}
         self._requests_served = 0
@@ -405,6 +421,16 @@ class ContinuousServer:
         self._deadline_evictions = 0
         self._merged_stats = RunStats()
         self._dropped: list[tuple[GenerationRequest, str]] = []
+        # Local import: repro.obs.scenario imports this module, so a
+        # top-level obs import here would deadlock package init. This
+        # runs at construction time, never at import time.
+        from repro.obs.metrics import MetricFamily
+        from repro.obs.observer import TIME_BUCKETS
+
+        self._latency_hist = MetricFamily(
+            "serve_latency_seconds", "histogram",
+            "End-to-end request latency", buckets=TIME_BUCKETS,
+        )
 
     def _build_executor(self):
         from repro.exec.continuous import ContinuousExecutor
@@ -468,6 +494,12 @@ class ContinuousServer:
         )
         self._next_id += 1
         self.queue.push(QueueEntry(request=request))
+        if self.observer is not None:
+            self.observer.on_membership(
+                "submit", now, request.request_id,
+                tenant=request.tenant, priority=int(request.priority),
+                deadline_s=request.deadline_s, model=self.model_name,
+            )
         return request.request_id
 
     @property
@@ -501,15 +533,23 @@ class ContinuousServer:
         observer = self.observer
         if observer is not None:
             observer.now = now
-        if self.at_boundary():
+        was_boundary = self.at_boundary()
+        if was_boundary:
             self._rebalance(now)
         if observer is not None:
             observer.on_queue_depth("continuous", len(self.queue))
         if not self.active:
             self.last_tick_s = 0.0
+            self.last_tick_phase = ""
+            self.last_tick_members = []
+            self.last_tick_cold_s = 0.0
             return []
 
         batch_size = len(self.active)
+        members = [
+            (run.request_id, run.request.tenant, int(run.request.priority))
+            for run in self.active
+        ]
         cursor = self.active[0].cursor
         is_dense = self.plan.steps[cursor].is_dense
         if self.dry_run:
@@ -526,6 +566,11 @@ class ContinuousServer:
             tick_s = max(0.0, self._clock() - start)
         if self.tick_time is not None:
             tick_s = float(self.tick_time(batch_size, is_dense))
+        cold_s = 0.0
+        if self.cold_start_s is not None and not self._cold_charged:
+            cold_s = max(0.0, float(self.cold_start_s))
+            self._cold_charged = True
+            tick_s += cold_s
 
         completed_at = now + tick_s
         served: list[RequestResult] = []
@@ -536,6 +581,9 @@ class ContinuousServer:
             )
             joined_at = self._joined_at.pop(run.request_id)
             wait_s = max(0.0, joined_at - run.request.submitted_at)
+            self._latency_hist.observe(
+                max(0.0, completed_at - run.request.submitted_at)
+            )
             record = RequestResult(
                 request=run.request,
                 result=generation,
@@ -560,11 +608,24 @@ class ContinuousServer:
                     batch_size=batch_size,
                 )
         if observer is not None:
-            observer.on_tick(now, completed_at, batch_size, is_dense, cursor)
+            tick_args = {"boundary": was_boundary}
+            if self.tick_energy is not None:
+                tick_args["energy_j"] = float(
+                    self.tick_energy(batch_size, is_dense)
+                )
+            if cold_s > 0.0:
+                tick_args["cold_s"] = cold_s
+            observer.on_tick(
+                now, completed_at, batch_size, is_dense, cursor,
+                **tick_args,
+            )
         self._ticks += 1
         self._occupancy_ticks += batch_size
         self._busy_s += tick_s
         self.last_tick_s = tick_s
+        self.last_tick_phase = "dense" if is_dense else "sparse"
+        self.last_tick_members = members
+        self.last_tick_cold_s = cold_s
         return served
 
     def run_until_drained(self) -> list[RequestResult]:
@@ -760,6 +821,11 @@ class ContinuousServer:
             ),
             merged_stats=RunStats.merged([self._merged_stats]),
             cache_info=self.cache.info(),
+            latency_quantiles={
+                "latency_p50_s": self._latency_hist.quantile(0.50),
+                "latency_p95_s": self._latency_hist.quantile(0.95),
+                "latency_p99_s": self._latency_hist.quantile(0.99),
+            },
             ticks=self._ticks,
             occupancy_ticks=self._occupancy_ticks,
             joins=self._joins,

@@ -65,6 +65,9 @@ class ServeReport:
     timing_source: str = "wall_clock"
     merged_stats: RunStats = field(default_factory=RunStats)
     cache_info: dict = field(default_factory=dict)
+    #: Deterministic nearest-rank latency quantiles, computed by the
+    #: owning server from its histogram (``MetricFamily.quantile``).
+    latency_quantiles: dict = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -96,6 +99,9 @@ class ServeReport:
             "mean_wait_s": self.mean_wait_s,
             "samples_per_s": self.samples_per_s,
             "timing_source": self.timing_source,
+            "latency_p50_s": self.latency_quantiles.get("latency_p50_s", 0.0),
+            "latency_p95_s": self.latency_quantiles.get("latency_p95_s", 0.0),
+            "latency_p99_s": self.latency_quantiles.get("latency_p99_s", 0.0),
             # Sorted so two runs' summaries diff stably regardless of
             # the order cache_info accumulated its keys.
             **{f"cache_{k}": v for k, v in sorted(self.cache_info.items())},
@@ -160,6 +166,16 @@ class ExionServer:
         self._busy_s = 0.0
         self._wait_s = 0.0
         self._merged_stats = RunStats()
+        # Local import: repro.obs package init transitively imports the
+        # serve layer, so a module-level obs import here would cycle.
+        # Constructor bodies run at instantiation time, which is safe.
+        from repro.obs.metrics import MetricFamily
+        from repro.obs.observer import TIME_BUCKETS
+
+        self._latency_hist = MetricFamily(
+            "serve_latency_seconds", "histogram",
+            "End-to-end request latency", buckets=TIME_BUCKETS,
+        )
 
     # ------------------------------------------------------------------
     # client API
@@ -179,6 +195,12 @@ class ExionServer:
             now=self._clock(), tenant=tenant, priority=priority,
             deadline_s=deadline_s,
         )
+        if self.observer is not None:
+            self.observer.on_membership(
+                "submit", request.submitted_at, request.request_id,
+                tenant=request.tenant, priority=int(request.priority),
+                deadline_s=request.deadline_s, model=self.model_name,
+            )
         return request.request_id
 
     def step(self) -> list[RequestResult]:
@@ -218,6 +240,11 @@ class ExionServer:
             ),
             merged_stats=RunStats.merged([self._merged_stats]),
             cache_info=self.cache.info(),
+            latency_quantiles={
+                "latency_p50_s": self._latency_hist.quantile(0.50),
+                "latency_p95_s": self._latency_hist.quantile(0.95),
+                "latency_p99_s": self._latency_hist.quantile(0.99),
+            },
         )
 
     # ------------------------------------------------------------------
@@ -240,8 +267,12 @@ class ExionServer:
             service_s = float(self.service_time(batch))
 
         served = []
+        completed_at = batch.formed_at + service_s
         for request, generation in zip(batch.requests, generations):
             wait_s = max(0.0, batch.formed_at - request.submitted_at)
+            self._latency_hist.observe(
+                max(0.0, completed_at - request.submitted_at)
+            )
             record = RequestResult(
                 request=request,
                 result=generation,
@@ -262,6 +293,8 @@ class ExionServer:
             # The batch executes starting at its formation instant; with
             # a simulated service_time hook both endpoints are sim-time.
             self.observer.on_batch(
-                batch.formed_at, batch.formed_at + service_s, len(batch),
+                batch.formed_at, completed_at, len(batch),
+                request_ids=[r.request_id for r in batch.requests],
+                tenants=[r.tenant for r in batch.requests],
             )
         return served

@@ -1,0 +1,124 @@
+"""CLI coverage for ``repro obs analyze|report|diff``."""
+
+import json
+
+from repro.cli import build_parser, main
+
+SCENARIO = ["--continuous", "--iterations", "12", "--requests", "8"]
+
+
+class TestParser:
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["obs", "analyze"])
+        assert args.obs_command == "analyze"
+        assert args.input is None
+        assert args.out == "analysis.json"
+        assert args.html is None
+        assert not args.cold_start
+
+    def test_diff_args(self):
+        args = build_parser().parse_args(
+            ["obs", "diff", "a.json", "b.json", "--tolerance", "0.1"]
+        )
+        assert args.base == "a.json"
+        assert args.current == "b.json"
+        assert args.tolerance == 0.1
+
+    def test_slo_flags_accumulate(self):
+        args = build_parser().parse_args(
+            ["obs", "analyze", "--slo", "a:deadline:0.9",
+             "--slo", "b:latency:0.25:0.95"]
+        )
+        assert args.slo == ["a:deadline:0.9", "b:latency:0.25:0.95"]
+
+
+class TestAnalyze:
+    def test_scenario_analysis_is_byte_deterministic(self, capsys, tmp_path):
+        a1, a2 = tmp_path / "a1.json", tmp_path / "a2.json"
+        h1, h2 = tmp_path / "r1.html", tmp_path / "r2.html"
+        argv = ["obs", "analyze"] + SCENARIO
+        assert main(argv + ["--out", str(a1), "--html", str(h1)]) == 0
+        assert main(argv + ["--out", str(a2), "--html", str(h2)]) == 0
+        capsys.readouterr()
+        assert a1.read_bytes() == a2.read_bytes()
+        assert h1.read_bytes() == h2.read_bytes()
+
+        doc = json.loads(a1.read_text())
+        assert doc["mode"] == "continuous"
+        assert doc["conservation"]["max_request_residual_ns"] == 0
+        assert doc["conservation"]["tenant_residual_ns"] == 0
+        assert doc["requests"]
+        html = h1.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "<script" not in html
+
+    def test_artifact_input_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        out = tmp_path / "analysis.json"
+        assert main(["obs", "analyze"] + SCENARIO
+                    + ["--out", str(tmp_path / "direct.json"),
+                       "--trace-out", str(trace)]) == 0
+        assert main(["obs", "analyze", "--input", str(trace),
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert doc["mode"] == "continuous"
+        assert len(doc["requests"]) == 8
+
+    def test_custom_slo_flag(self, capsys, tmp_path):
+        out = tmp_path / "a.json"
+        assert main(["obs", "analyze"] + SCENARIO
+                    + ["--slo", "tight:latency:0.001:0.95",
+                       "--out", str(out)]) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert set(doc["slo"]) == {"tight"}
+        assert doc["slo"]["tight"]["bad"] > 0
+
+    def test_trace_out_appends_alert_instants(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["obs", "analyze"] + SCENARIO
+                    + ["--out", str(tmp_path / "a.json"),
+                       "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        doc = json.loads(trace.read_text())
+        alerts = [e for e in doc["traceEvents"]
+                  if e.get("name") == "slo_alert"]
+        assert alerts
+        assert all("slo" in e["args"] for e in alerts)
+
+
+class TestReport:
+    def test_report_renders_standalone_html(self, capsys, tmp_path):
+        out = tmp_path / "report.html"
+        assert main(["obs", "report"] + SCENARIO
+                    + ["--out", str(out), "--title", "demo run"]) == 0
+        capsys.readouterr()
+        html = out.read_text()
+        assert "demo run" in html
+        for needle in ("Critical path", "Tenant", "slo", "svg"):
+            assert needle.lower() in html.lower()
+
+
+class TestDiff:
+    def _analysis(self, tmp_path, name, requests="8"):
+        out = tmp_path / name
+        argv = ["obs", "analyze", "--continuous", "--iterations", "12",
+                "--requests", requests, "--out", str(out)]
+        assert main(argv) == 0
+        return out
+
+    def test_identical_runs_diff_clean(self, capsys, tmp_path):
+        a = self._analysis(tmp_path, "a.json")
+        b = self._analysis(tmp_path, "b.json")
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressions" in out
+
+    def test_changed_run_reports_and_exits_nonzero(self, capsys, tmp_path):
+        a = self._analysis(tmp_path, "a.json", requests="4")
+        b = self._analysis(tmp_path, "b.json", requests="8")
+        code = main(["obs", "diff", str(a), str(b)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "regressions" in out

@@ -1,0 +1,161 @@
+"""Prometheus exposition is lossless: parse it back, rebuild every
+sample, and compare against the registry's own state — including the
+label-escaping and histogram-bucket edge cases exposition formats get
+wrong most often."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import (
+    escape_label_value,
+    histogram_quantile,
+    parse_prometheus,
+    unescape_label_value,
+)
+
+
+def _fixture_registry():
+    reg = MetricsRegistry()
+    c = reg.counter("hits_total", help_="total hits", labels=("path",))
+    c.inc(3, path="/a")
+    c.inc(path='/quo"ted')
+    c.inc(path="back\\slash")
+    c.inc(path="new\nline")
+    g = reg.gauge("depth", labels=("queue",))
+    g.set(4.5, queue="main")
+    h = reg.histogram("lat", labels=("op",), buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 5.0, 50.0):
+        h.observe(value, op="serve")
+    reg.counter("plain_total").inc(7)
+    return reg
+
+
+class TestRoundTrip:
+    def test_every_sample_reconstructs(self):
+        reg = _fixture_registry()
+        parsed = parse_prometheus(reg.to_prometheus())
+
+        assert parsed["hits_total"]["type"] == "counter"
+        samples = dict(
+            (labels["path"], value)
+            for labels, value in parsed["hits_total"]["samples"]
+        )
+        assert samples == {
+            "/a": 3.0, '/quo"ted': 1.0, "back\\slash": 1.0,
+            "new\nline": 1.0,
+        }
+
+        assert parsed["depth"]["samples"] == [({"queue": "main"}, 4.5)]
+        assert parsed["plain_total"]["samples"] == [({}, 7.0)]
+
+    def test_histogram_buckets_cumulative_and_complete(self):
+        reg = _fixture_registry()
+        parsed = parse_prometheus(reg.to_prometheus())
+
+        buckets = {
+            labels["le"]: value
+            for labels, value in parsed["lat_bucket"]["samples"]
+        }
+        # Cumulative counts per le bound, +Inf covering everything.
+        assert buckets == {"0.1": 1.0, "1": 2.0, "10": 3.0, "+Inf": 4.0}
+        assert parsed["lat_sum"]["samples"][0][1] == pytest.approx(55.55)
+        assert parsed["lat_count"]["samples"][0][1] == 4.0
+        # Suffixed series resolve back to the histogram's declared type.
+        assert parsed["lat_bucket"]["type"] == "histogram"
+
+    def test_round_trip_rebuilds_equivalent_registry(self):
+        reg = _fixture_registry()
+        parsed = parse_prometheus(reg.to_prometheus())
+
+        rebuilt = MetricsRegistry()
+        counter = rebuilt.counter("hits_total", labels=("path",))
+        for labels, value in parsed["hits_total"]["samples"]:
+            counter.inc(value, **labels)
+        rebuilt.counter("plain_total").inc(
+            parsed["plain_total"]["samples"][0][1]
+        )
+        gauge = rebuilt.gauge("depth", labels=("queue",))
+        for labels, value in parsed["depth"]["samples"]:
+            gauge.set(value, **labels)
+        for family in ("hits_total", "depth", "plain_total"):
+            # HELP text is not parsed back; the samples must be.
+            rebuilt_doc = rebuilt.get(family).snapshot()
+            original = reg.get(family).snapshot()
+            assert rebuilt_doc["series"] == original["series"]
+            assert rebuilt_doc["kind"] == original["kind"]
+
+
+class TestEscaping:
+    @pytest.mark.parametrize("value", [
+        "plain", 'quo"te', "back\\slash", "new\nline",
+        '\\"mixed\\n"', "", "trailing\\",
+    ])
+    def test_escape_unescape_inverse(self, value):
+        assert unescape_label_value(escape_label_value(value)) == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet=st.characters(codec="ascii"), max_size=30))
+    def test_escape_unescape_inverse_property(self, value):
+        assert unescape_label_value(escape_label_value(value)) == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(
+        alphabet=st.sampled_from('ab"\\\n_'), max_size=12,
+    ))
+    def test_exposition_survives_hostile_label_values(self, value):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels=("k",)).inc(k=value)
+        parsed = parse_prometheus(reg.to_prometheus())
+        ((labels, count),) = parsed["x_total"]["samples"]
+        assert labels == {"k": value}
+        assert count == 1.0
+
+
+class TestHistogramQuantile:
+    def test_nearest_rank_basics(self):
+        buckets = (1.0, 2.0, 4.0)
+        counts = [2, 1, 1, 0]  # le=1:2, le=2:1, le=4:1, +Inf:0
+        assert histogram_quantile(buckets, counts, 0.50) == 1.0
+        assert histogram_quantile(buckets, counts, 0.75) == 2.0
+        assert histogram_quantile(buckets, counts, 1.00) == 4.0
+
+    def test_inf_tail_clamps_to_largest_finite_bound(self):
+        assert histogram_quantile((1.0, 2.0), [0, 0, 5], 0.99) == 2.0
+
+    def test_empty_histogram_is_zero(self):
+        assert histogram_quantile((1.0,), [0, 0], 0.95) == 0.0
+
+    def test_quantile_bounds_validated(self):
+        with pytest.raises(ValueError):
+            histogram_quantile((1.0,), [1, 0], 1.5)
+
+    def test_family_and_registry_helpers(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        assert h.quantile(0.95) == 0.0  # untouched child
+        h.observe(0.05)
+        h.observe(0.5)
+        assert reg.quantile("lat", 0.5) == 0.1
+        assert reg.quantile("lat", 0.95) == 1.0
+        with pytest.raises(TypeError):
+            reg.counter("c_total").quantile(0.5)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=40,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_quantile_monotone_and_within_bounds(self, values, q):
+        reg = MetricsRegistry()
+        h = reg.histogram("v", buckets=(1.0, 10.0, 50.0))
+        for value in values:
+            h.observe(value)
+        result = h.quantile(q)
+        assert result in (1.0, 10.0, 50.0)
+        assert result <= h.quantile(1.0)

@@ -1,0 +1,163 @@
+"""SLO error budgets: spec grammar, burn-rate windows, alert latching."""
+
+import pytest
+
+from repro.obs.analyze import (
+    SLOSpec,
+    alert_events,
+    default_slos,
+    evaluate_slos,
+    parse_slo_spec,
+)
+from repro.obs.analyze.attribution import Attribution, RequestAttribution
+from repro.obs.analyze.slo import MAX_SERIES_POINTS
+
+NS = 1_000_000_000
+
+
+def _request(rid, submit_ns, end_ns, outcome="served", deadline_ns=None):
+    return RequestAttribution(
+        request_id=rid, submit_ns=submit_ns, end_ns=end_ns,
+        outcome=outcome, deadline_ns=deadline_ns,
+    )
+
+
+def _attribution(requests, horizon_ns=None):
+    horizon = horizon_ns or max((r.end_ns for r in requests), default=1)
+    return Attribution(requests=list(requests), horizon_ns=horizon)
+
+
+class TestSpecs:
+    def test_parse_latency_spec(self):
+        spec = parse_slo_spec("p95:latency:0.25:0.95")
+        assert spec == SLOSpec(
+            name="p95", kind="latency", target=0.95,
+            threshold_ns=250_000_000,
+        )
+
+    def test_parse_deadline_spec(self):
+        spec = parse_slo_spec("hit:deadline:0.99")
+        assert spec.kind == "deadline"
+        assert spec.threshold_ns is None
+
+    @pytest.mark.parametrize("text", [
+        "", "x", "a:latency:0.25", "a:deadline:0.5:0.9", "a:weird:0.9",
+    ])
+    def test_bad_grammar_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_slo_spec(text)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.5, 2.0])
+    def test_target_must_be_fractional(self, target):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="deadline", target=target)
+
+    def test_latency_spec_needs_threshold(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="latency", target=0.9)
+
+    def test_default_slos_are_valid(self):
+        specs = default_slos()
+        assert [s.kind for s in specs] == ["latency", "deadline"]
+
+
+class TestEvaluation:
+    def test_all_good_consumes_no_budget(self):
+        att = _attribution([
+            _request(i, i * NS, i * NS + NS // 10) for i in range(10)
+        ])
+        spec = SLOSpec(name="lat", kind="latency", target=0.9,
+                       threshold_ns=NS)
+        doc = evaluate_slos(att, [spec])["lat"]
+        assert doc["total"] == 10
+        assert doc["bad"] == 0
+        assert doc["compliance"] == 1.0
+        assert doc["budget_consumed_ratio"] == 0.0
+        assert doc["alerts"] == []
+
+    def test_sustained_violation_fires_one_latched_alert(self):
+        # Every request blows the threshold: burn is maximal in both
+        # windows at every sample, so exactly one latched alert fires.
+        att = _attribution([
+            _request(i, i * NS, i * NS + 2 * NS) for i in range(10)
+        ])
+        spec = SLOSpec(name="lat", kind="latency", target=0.9,
+                       threshold_ns=NS // 2)
+        doc = evaluate_slos(att, [spec])["lat"]
+        assert doc["bad"] == 10
+        assert len(doc["alerts"]) == 1
+        assert doc["alerts"][0]["burn_long"] == pytest.approx(10.0)
+
+    def test_recovery_unlatches_for_a_second_alert(self):
+        # Bad burst, long clean stretch (short window drains), bad burst
+        # again: two alert events, not one and not ten.
+        requests = []
+        rid = 0
+        for i in range(3):  # bad burst
+            requests.append(_request(rid, 0, (i + 1) * NS, outcome="expired"))
+            rid += 1
+        for i in range(30):  # clean recovery
+            requests.append(
+                _request(rid, 0, (10 + i) * NS + NS // 100)
+            )
+            rid += 1
+        for i in range(3):  # second burst
+            requests.append(
+                _request(rid, 0, (50 + i) * NS, outcome="expired")
+            )
+            rid += 1
+        att = _attribution(requests, horizon_ns=60 * NS)
+        spec = SLOSpec(name="lat", kind="latency", target=0.5,
+                       threshold_ns=100 * NS)
+        doc = evaluate_slos(att, [spec])["lat"]
+        assert len(doc["alerts"]) == 2
+
+    def test_deadline_kind_only_counts_deadline_requests(self):
+        att = _attribution([
+            _request(0, 0, NS),  # no deadline: not a sample
+            _request(1, 0, NS, deadline_ns=2 * NS),   # met
+            _request(2, 0, 3 * NS, deadline_ns=2 * NS),  # missed
+        ])
+        spec = SLOSpec(name="dl", kind="deadline", target=0.5)
+        doc = evaluate_slos(att, [spec])["dl"]
+        assert doc["total"] == 2
+        assert doc["good"] == 1
+
+    def test_open_requests_are_not_samples(self):
+        att = _attribution([_request(0, 0, NS, outcome="open")])
+        doc = evaluate_slos(att, default_slos())["latency-250ms"]
+        assert doc["total"] == 0
+        assert doc["compliance"] == 1.0
+
+    def test_burn_series_is_decimated(self):
+        att = _attribution([
+            _request(i, i * NS, i * NS + NS) for i in range(500)
+        ])
+        spec = SLOSpec(name="lat", kind="latency", target=0.9,
+                       threshold_ns=2 * NS)
+        doc = evaluate_slos(att, [spec])["lat"]
+        assert len(doc["burn_series"]) <= MAX_SERIES_POINTS + 1
+        assert doc["burn_series"][-1][0] == att.requests[-1].end_ns
+
+    def test_evaluation_is_deterministic(self):
+        att = _attribution([
+            _request(i, i * NS, i * NS + (2 * NS if i % 3 else NS // 10))
+            for i in range(20)
+        ])
+        specs = [SLOSpec(name="lat", kind="latency", target=0.9,
+                         threshold_ns=NS)]
+        assert evaluate_slos(att, specs) == evaluate_slos(att, specs)
+
+
+class TestAlertEvents:
+    def test_alerts_flatten_sorted_by_time(self):
+        results = {
+            "b": {"alerts": [{"ts_ns": 2 * NS, "burn_long": 3.0,
+                              "burn_short": 4.0}]},
+            "a": {"alerts": [{"ts_ns": NS, "burn_long": 2.0,
+                              "burn_short": 2.5}]},
+        }
+        events = alert_events(results)
+        assert [name for name, _, _ in events] == ["slo_alert"] * 2
+        assert [args["slo"] for _, _, args in events] == ["a", "b"]
+        assert events[0][1] == pytest.approx(1.0)

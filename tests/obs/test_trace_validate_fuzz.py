@@ -1,0 +1,154 @@
+"""Hardening tests for ``validate_chrome_trace``.
+
+The validator is the schema gate between the exporter and every
+downstream consumer (Perfetto, the analytics engine, the CLI). It must
+reject malformed documents loudly — including the numeric edge cases
+(NaN, infinities, bools posing as ints, negative durations) that a
+naive ``isinstance`` check waves through — while accepting everything
+the exporter actually emits.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    Observer,
+    chrome_trace,
+    run_trace_scenario,
+    validate_chrome_trace,
+)
+
+
+def _event(**overrides):
+    base = {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0,
+            "dur": 1.0}
+    base.update(overrides)
+    return base
+
+
+def _doc(*events):
+    return {"traceEvents": list(events)}
+
+
+class TestRejections:
+    @pytest.mark.parametrize("doc", [
+        None, [], {}, {"other": []}, {"traceEvents": {}},
+        {"traceEvents": "nope"},
+    ])
+    def test_document_shape(self, doc):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(doc)
+
+    @pytest.mark.parametrize("event", [
+        "not-a-dict",
+        _event(ph="Q"),
+        _event(ph=None),
+        {"ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 0},  # no name
+        _event(name=""),
+        _event(name=7),
+    ])
+    def test_phase_and_name(self, event):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(_doc(event))
+
+    @pytest.mark.parametrize("event", [
+        _event(pid="1"),
+        _event(tid=1.5),
+        _event(pid=True),  # bool is an int subclass; still malformed
+        _event(tid=False),
+    ])
+    def test_pid_tid_must_be_real_integers(self, event):
+        with pytest.raises(ValueError, match="integer"):
+            validate_chrome_trace(_doc(event))
+
+    @pytest.mark.parametrize("ts", [
+        -1, -0.001, float("nan"), float("inf"), float("-inf"),
+        "0", None, True,
+    ])
+    def test_ts_must_be_finite_nonnegative(self, ts):
+        with pytest.raises(ValueError, match="finite ts"):
+            validate_chrome_trace(_doc(_event(ts=ts)))
+
+    @pytest.mark.parametrize("dur", [
+        -1, -1e-9, float("nan"), float("inf"), float("-inf"),
+        "1", None, False,
+    ])
+    def test_negative_or_nonfinite_duration_rejected(self, dur):
+        with pytest.raises(ValueError, match="finite dur"):
+            validate_chrome_trace(_doc(_event(dur=dur)))
+
+    def test_end_before_start_cannot_be_encoded(self):
+        # Chrome traces carry (ts, dur), so "end < start" is exactly a
+        # negative duration — pinned here as the named invariant.
+        with pytest.raises(ValueError, match="finite dur"):
+            validate_chrome_trace(_doc(_event(ts=5.0, dur=-2.0)))
+
+    def test_instant_scope_and_metadata_args(self):
+        with pytest.raises(ValueError, match="scope"):
+            validate_chrome_trace(
+                _doc({"name": "i", "ph": "i", "pid": 1, "tid": 1,
+                      "ts": 0.0, "s": "x"})
+            )
+        with pytest.raises(ValueError, match="args.name"):
+            validate_chrome_trace(
+                _doc({"name": "process_name", "ph": "M", "pid": 1,
+                      "tid": 0, "args": {}})
+            )
+        with pytest.raises(ValueError, match="id"):
+            validate_chrome_trace(
+                _doc({"name": "open", "ph": "b", "pid": 1, "tid": 1,
+                      "ts": 0.0})
+            )
+
+    def test_error_names_the_offending_index(self):
+        good = _event()
+        with pytest.raises(ValueError, match=r"traceEvents\[1\]"):
+            validate_chrome_trace(_doc(good, _event(ts=-1)))
+
+
+class TestAcceptance:
+    def test_real_export_validates(self):
+        observer = Observer()
+        run_trace_scenario(model="dit", continuous=True, requests=4,
+                           iterations=8, observer=observer)
+        doc = chrome_trace(observer.tracer)
+        assert validate_chrome_trace(doc) == len(doc["traceEvents"])
+
+    def test_zero_duration_and_integer_timestamps_accepted(self):
+        assert validate_chrome_trace(
+            _doc(_event(ts=0, dur=0), _event(ts=10, dur=0.0))
+        ) == 2
+
+
+_SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10, max_value=10),
+    st.floats(allow_nan=True, allow_infinity=True, width=32),
+    st.text(max_size=5),
+)
+
+
+@st.composite
+def fuzzed_events(draw):
+    """Events mutated field-by-field from a valid template."""
+    event = _event(ph=draw(st.sampled_from(("M", "X", "i", "b", "e", "Z"))))
+    for key in ("name", "pid", "tid", "ts", "dur", "s", "id", "args"):
+        if draw(st.booleans()):
+            event[key] = draw(_SCALARS)
+    return event
+
+
+class TestFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(fuzzed_events(), max_size=4))
+    def test_never_crashes_only_valueerror(self, events):
+        # Malformed documents must produce ValueError, never TypeError /
+        # KeyError / AssertionError escaping from the validator.
+        try:
+            count = validate_chrome_trace(_doc(*events))
+        except ValueError:
+            pass
+        else:
+            assert count == len(events)
