@@ -17,8 +17,8 @@ COV_PKGS := --cov=repro.core --cov=repro.program --cov=repro.exec \
 	--cov=repro.obs.analyze
 
 .PHONY: help test lint coverage bench bench-smoke bench-compare \
-	cluster-smoke serve-smoke explore-smoke program-smoke trace-smoke \
-	obs-analyze-smoke smoke docs-check check
+	cache-smoke cluster-smoke serve-smoke explore-smoke program-smoke \
+	trace-smoke obs-analyze-smoke smoke docs-check check
 
 help:  ## list targets with their descriptions
 	@awk -F':.*## ' '/^[a-zA-Z][a-zA-Z0-9_-]*:.*## / \
@@ -72,6 +72,12 @@ explore-smoke:  ## design-space Pareto bench + CLI demo run
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro explore \
 		--strategy random --budget 8 --iterations 8 --workers 2
 
+cache-smoke:  ## plan-cache amortization gate bench + parity tests
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench \
+		--run plan_cache --out $(BENCH_OUT)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q \
+		tests/program/test_plan_cache.py tests/exec/test_arena.py
+
 program-smoke:  ## lowering-pipeline parity bench + CLI plan inspection
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench \
 		--run program_lowering --out $(BENCH_OUT)
@@ -92,8 +98,8 @@ obs-analyze-smoke:  ## trace-analytics gate bench + CLI analyze/diff run
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro obs diff \
 		$(BENCH_OUT)/analysis.json $(BENCH_OUT)/analysis.json
 
-smoke: bench-smoke serve-smoke cluster-smoke explore-smoke program-smoke \
-	trace-smoke obs-analyze-smoke  ## all *-smoke targets
+smoke: bench-smoke cache-smoke serve-smoke cluster-smoke explore-smoke \
+	program-smoke trace-smoke obs-analyze-smoke  ## all *-smoke targets
 
 docs-check:  ## docstring + __all__ export lint
 	$(PYTHON) tools/docs_check.py

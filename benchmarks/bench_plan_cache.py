@@ -1,0 +1,173 @@
+"""Plan-cache amortization: fleets and sweeps stop paying cold compiles.
+
+The perf claim of :mod:`repro.program.cache`: every construction site
+(executors, serving, cluster replicas, explore objectives) lowers,
+compiles, profiles and prices through one process-wide content-addressed
+:class:`~repro.program.cache.PlanCache`, so
+
+- a **fleet** of N replicas over M models runs exactly M sparsity-profile
+  syntheses and one lowering+pricing per distinct (model, ablation,
+  batch) point between them, and re-priming against a warm cache is at
+  least **2× faster** than the cold pass;
+- a repeated-config **explore-style sweep** (fleet knobs vary, the
+  (spec, config) key does not) hits the in-process tiers on every lookup
+  of the second pass — a **100% hit rate** — and also re-runs ≥2× faster;
+- everything stays **byte-identical**: cached pricing equals a cold
+  ``simulate_plan`` on a cold ``lower_plan`` for every model priced.
+
+Run with::
+
+    pytest benchmarks/bench_plan_cache.py --import-mode=importlib -s
+"""
+
+import time
+
+from repro.bench import BenchResult, register_bench
+from repro.core.config import ExionConfig
+from repro.cluster.replica import ServiceTimeModel
+from repro.hw.accelerator import ExionAccelerator
+from repro.program import lower_plan, plan_json
+from repro.program.cache import fresh_plan_cache, get_plan_cache
+from repro.workloads.specs import get_spec
+
+FLEET_REPLICAS = 4
+FLEET_MODELS = ("dit", "mld", "mdm")
+FLEET_ABLATIONS = ("base", "all")
+FLEET_BATCHES = (1, 4)
+SWEEP_POINTS = 24  # explore-style: fleet knobs vary, plan keys repeat
+
+
+def _prime_fleet() -> None:
+    """Construct one fleet's service-time models: the hw-priced part of
+    replica setup (profile synthesis + lowering + pricing per point)."""
+    for _ in range(FLEET_REPLICAS):
+        stm = ServiceTimeModel("exion24")
+        for model in FLEET_MODELS:
+            for ablation in FLEET_ABLATIONS:
+                for batch in FLEET_BATCHES:
+                    stm.latency_s(model, ablation, batch)
+
+
+def _run_sweep() -> None:
+    """Price an explore-style sweep: every point re-asks for the same
+    (spec, config) plans — only fleet knobs differ between points."""
+    cache = get_plan_cache()
+    accelerator = ExionAccelerator.exion24()
+    for model in FLEET_MODELS:
+        spec = get_spec(model)
+        config = ExionConfig.for_model(model)
+        profile = cache.profile(spec)
+        for _ in range(SWEEP_POINTS):
+            plan = cache.plan(spec, config=config)
+            cache.price(accelerator, plan, profile)
+
+
+def _pass_hit_rate(before: dict, after: dict) -> float:
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+@register_bench("plan_cache", tags=("program", "perf", "smoke"))
+def build_plan_cache(ctx):
+    # ------------------------------------------------------------------
+    # fleet construction: cold pass, then re-prime against the warm cache
+    # ------------------------------------------------------------------
+    with fresh_plan_cache() as cache:
+        start = time.perf_counter()
+        _prime_fleet()
+        fleet_cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        _prime_fleet()
+        fleet_warm_s = time.perf_counter() - start
+        fleet_speedup = fleet_cold_s / fleet_warm_s
+
+        # profile tier: M models, not N x M replica-profiles
+        profiles_synthesized = cache.tier_misses["profile"]
+
+    # ------------------------------------------------------------------
+    # explore-style sweep: repeated keys, second pass must be all hits
+    # (its own fresh cache, so the cold pass really is cold)
+    # ------------------------------------------------------------------
+    with fresh_plan_cache() as cache:
+        start = time.perf_counter()
+        _run_sweep()
+        sweep_cold_s = time.perf_counter() - start
+
+        before = cache.stats()
+        start = time.perf_counter()
+        _run_sweep()
+        sweep_warm_s = time.perf_counter() - start
+        hit_rate = _pass_hit_rate(before, cache.stats())
+        sweep_speedup = sweep_cold_s / sweep_warm_s
+
+        # ------------------------------------------------------------------
+        # byte identity: cached pricing == cold simulate on a cold lowering
+        # ------------------------------------------------------------------
+        accelerator = ExionAccelerator.exion24()
+        identical = True
+        for model in FLEET_MODELS:
+            spec = get_spec(model)
+            config = ExionConfig.for_model(model)
+            cold_plan = lower_plan(spec, config=config)
+            warm_plan = cache.plan(spec, config=config)
+            profile = cache.profile(spec)
+            cold_report = accelerator.simulate_plan(cold_plan, profile)
+            warm_report = cache.price(accelerator, warm_plan, profile)
+            identical &= plan_json(warm_plan) == plan_json(cold_plan)
+            identical &= warm_report == cold_report
+
+    result = BenchResult("plan_cache", model="+".join(FLEET_MODELS))
+    result.add_series(
+        f"{FLEET_REPLICAS}-replica fleet over {len(FLEET_MODELS)} models, "
+        f"{len(FLEET_MODELS) * SWEEP_POINTS}-point sweep",
+        ["scenario", "cold s", "warm s", "speedup"],
+        [
+            ["fleet construction", f"{fleet_cold_s:.3f}",
+             f"{fleet_warm_s:.4f}", f"{fleet_speedup:.0f}x"],
+            ["explore sweep", f"{sweep_cold_s:.3f}",
+             f"{sweep_warm_s:.4f}", f"{sweep_speedup:.0f}x"],
+        ],
+    )
+    result.add_note(
+        f"profile syntheses: {profiles_synthesized} "
+        f"(= {len(FLEET_MODELS)} models, not "
+        f"{FLEET_REPLICAS * len(FLEET_MODELS)} replica-profiles); "
+        f"warm-pass hit rate {hit_rate:.3f}"
+    )
+    # Hard gates: parity and full interning are all-or-nothing.
+    result.add_metric("byte_identity", 1.0 if identical else 0.0,
+                      direction="higher_better", tolerance=0.0)
+    result.add_metric("warm_pass_hit_rate", hit_rate,
+                      direction="higher_better", tolerance=0.0)
+    result.add_metric("profiles_per_model",
+                      profiles_synthesized / len(FLEET_MODELS),
+                      direction="lower_better", tolerance=0.0)
+    # Wall-clock ratios cancel machine class; floors get wide tolerances.
+    result.add_metric("fleet_warm_speedup", fleet_speedup, unit="x",
+                      direction="higher_better", tolerance=0.9)
+    result.add_metric("sweep_warm_speedup", sweep_speedup, unit="x",
+                      direction="higher_better", tolerance=0.9)
+    result.add_metric("fleet_cold_s", fleet_cold_s, unit="s",
+                      direction="lower_better", tolerance=0.9)
+    return result
+
+
+def test_plan_cache(bench_ctx):
+    from .conftest import emit_result
+
+    result = build_plan_cache(bench_ctx)
+    emit_result(result)
+
+    assert result.value("byte_identity") == 1.0
+    assert result.value("warm_pass_hit_rate") == 1.0
+    assert result.value("profiles_per_model") == 1.0
+
+    # The acceptance bar: warm-cache fleet construction and repeated
+    # sweeps are at least 2x the cold pass.
+    fleet = result.value("fleet_warm_speedup")
+    sweep = result.value("sweep_warm_speedup")
+    assert fleet >= 2.0, f"fleet re-prime only {fleet:.2f}x cold setup"
+    assert sweep >= 2.0, f"warm sweep only {sweep:.2f}x cold sweep"

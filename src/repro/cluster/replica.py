@@ -99,9 +99,12 @@ class ServiceTimeModel:
 
     def _profile(self, model: str):
         if model not in self._profiles:
-            from repro.hw.profile import estimate_profile
+            from repro.program.cache import get_plan_cache
 
-            self._profiles[model] = estimate_profile(
+            # The global PlanCache interns the synthesis (the dominant
+            # fleet-setup cost), so N replicas over M models run exactly
+            # M ConMerge estimation passes between them.
+            self._profiles[model] = get_plan_cache().profile(
                 get_spec(model), seed=self.profile_seed
             )
         return self._profiles[model]
@@ -112,19 +115,23 @@ class ServiceTimeModel:
             raise ValueError("batch_size must be >= 1")
         key = (model, ablation, batch_size)
         if key not in self._latencies:
-            from repro.program import lower_plan
+            from repro.program.cache import get_plan_cache
 
+            cache = get_plan_cache()
             # The enable flags come from the same config the served
-            # pipeline uses, so priced and executed ablations can't drift.
+            # pipeline uses, so priced and executed ablations can't
+            # drift; lowering and pricing are interned process-wide, so
+            # every replica of a fleet shares one plan and one pricing
+            # per (model, ablation, batch) point.
             config = ExionConfig.for_model(model).ablation(ablation)
-            plan = lower_plan(
+            plan = cache.plan(
                 get_spec(model),
                 config=config,
                 iterations=self.iterations,
                 batch=batch_size,
             )
-            report = self.accelerator.simulate_plan(
-                plan, self._profile(model)
+            report = cache.price(
+                self.accelerator, plan, self._profile(model)
             )
             self._latencies[key] = report.latency_s
             self._energies[key] = report.energy_j
@@ -195,20 +202,20 @@ class ServiceTimeModel:
         self, model: str, ablation: str, batch_size: int
     ) -> None:
         """Price latency + energy of cold/dense/sparse ticks at once."""
-        from repro.program import lower_plan
+        from repro.program.cache import get_plan_cache
 
+        cache = get_plan_cache()
         key = (model, ablation, batch_size)
         config = ExionConfig.for_model(model).ablation(ablation)
         spec = get_spec(model)
+        profile = self._profile(model)
 
         def t(iterations: int) -> tuple:
-            plan = lower_plan(
+            plan = cache.plan(
                 spec, config=config, iterations=iterations,
                 batch=batch_size,
             )
-            report = self.accelerator.simulate_plan(
-                plan, self._profile(model)
-            )
+            report = cache.price(self.accelerator, plan, profile)
             return report.latency_s, report.energy_j
 
         cold, cold_e = t(1)

@@ -423,7 +423,7 @@ def ffn_dense_compile(
 
 
 def ffn_sparse_step(
-    layer: FeedForward, x: np.ndarray, state: FFNPhaseState
+    layer: FeedForward, x: np.ndarray, state: FFNPhaseState, arena=None
 ) -> np.ndarray:
     """Sparse-iteration FFN through the compiled phase state.
 
@@ -432,6 +432,13 @@ def ffn_sparse_step(
     interpreted full-matrix result bit for bit), the scatter overlays the
     dense iteration's hidden state, and the 2nd-layer update accumulates
     onto the precomputed partial sums.
+
+    ``arena`` (an :class:`repro.exec.arena.ExecArena`, duck-typed so this
+    module stays below the exec layer) reuses the scatter target, the
+    masked operand and the update GEMM output across iterations. Every
+    arena buffer is fully overwritten before use and none escapes this
+    call, so the arithmetic — including GEMM operand shapes — is
+    identical either way.
     """
     pre = layer.linear1(x)
     flat = pre.ravel()
@@ -441,9 +448,25 @@ def ffn_sparse_step(
         )
     else:
         recomputed = gelu_kernel(flat[state.gather_indices])
-    hidden = state.hidden_dense.copy()
-    hidden.ravel()[state.gather_indices] = recomputed
-    updates = (hidden * state.mask) @ layer.linear2.weight
+    if arena is None:
+        hidden = state.hidden_dense.copy()
+        hidden.ravel()[state.gather_indices] = recomputed
+        updates = (hidden * state.mask) @ layer.linear2.weight
+    else:
+        hidden = arena.take("ffn_hidden", state.hidden_dense.shape)
+        np.copyto(hidden, state.hidden_dense)
+        hidden.ravel()[state.gather_indices] = recomputed
+        masked = np.multiply(
+            hidden, state.mask,
+            out=arena.take("ffn_masked", hidden.shape),
+        )
+        updates = np.matmul(
+            masked, layer.linear2.weight,
+            out=arena.take(
+                "ffn_updates",
+                hidden.shape[:-1] + (layer.linear2.weight.shape[1],),
+            ),
+        )
     return state.partial_sums + updates
 
 

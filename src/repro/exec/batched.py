@@ -37,10 +37,11 @@ from repro.models.pipeline import DiffusionResult
 from repro.models.scheduler import DDPMScheduler
 from repro.models.transformer import TransformerBlock
 from repro.models.zoo import BenchmarkModel
-from repro.program.compiled import CompiledPlan, compile_plan
-from repro.program.lower import lower_plan
+from repro.program.cache import compiled_plan_for
+from repro.program.compiled import CompiledPlan
 from repro.serve.request import GenerationRequest
 
+from repro.exec.arena import ExecArena, arena_zeros
 from repro.exec.executor import build_prediction_tables, build_step_tables
 
 
@@ -117,14 +118,14 @@ class CompiledBatchedExecutor:
         self.activation_bits = activation_bits
         self.collect_masks = collect_masks
         if compiled_plan is None:
-            compiled_plan = compile_plan(
-                lower_plan(model.spec, config=config, scale="sim")
-            )
+            compiled_plan = compiled_plan_for(model.spec, config)
         self.compiled_plan = compiled_plan
         self._timesteps, self._t_embeds, self._adaln_tables = (
             build_step_tables(model)
         )
         self._preds = build_prediction_tables(model.network, config)
+        # Per-iteration scratch reused across steps (see repro.exec.arena).
+        self._arena = ExecArena()
 
     # ------------------------------------------------------------------
     # entry point
@@ -330,7 +331,7 @@ class CompiledBatchedExecutor:
                 state.cross_kv[block_index] = kv
         return _ep_attention_step_batched(
             layer, x, context, pred, self.config, state.stats,
-            collect_keepmasks=self.collect_masks, kv=kv,
+            collect_keepmasks=self.collect_masks, kv=kv, arena=self._arena,
         )
 
     # ------------------------------------------------------------------
@@ -362,7 +363,9 @@ class CompiledBatchedExecutor:
                     stats.ffn_bitmasks.append(Bitmask(phase_state.mask[b]))
             return out
         phase_state = state.ffn_states[block_index]
-        out = _ffn_sparse_step_batched(layer, x, phase_state)
+        out = _ffn_sparse_step_batched(
+            layer, x, phase_state, arena=self._arena
+        )
         elements = phase_state.mask.shape[1] * phase_state.mask.shape[2]
         l1_cols_per_hidden = layer.linear1.out_features // layer.hidden_dim
         full_l1 = layer.linear1.macs(tokens)
@@ -493,10 +496,19 @@ def _attach_geglu_indices(
 
 
 def _ffn_sparse_step_batched(
-    layer: FeedForward, x: np.ndarray, state: _BatchedFFNPhaseState
+    layer: FeedForward,
+    x: np.ndarray,
+    state: _BatchedFFNPhaseState,
+    arena: Optional[ExecArena] = None,
 ) -> np.ndarray:
     """Batched :func:`repro.core.ffn_reuse.ffn_sparse_step`: one flat
-    gather/scatter over the whole micro-batch."""
+    gather/scatter over the whole micro-batch.
+
+    With an ``arena`` the scatter target, masked operand and update GEMM
+    output are reused across iterations; each buffer is fully
+    overwritten before use and none escapes this call, so the arithmetic
+    (and the BLAS operand shapes) is identical to the allocating path.
+    """
     pre = layer.linear1(x)
     flat = pre.ravel()
     if layer.activation == "geglu":
@@ -505,9 +517,25 @@ def _ffn_sparse_step_batched(
         )
     else:
         recomputed = gelu_kernel(flat[state.gather_indices])
-    hidden = state.hidden_dense.copy()
-    hidden.ravel()[state.gather_indices] = recomputed
-    updates = (hidden * state.mask) @ layer.linear2.weight
+    if arena is None:
+        hidden = state.hidden_dense.copy()
+        hidden.ravel()[state.gather_indices] = recomputed
+        updates = (hidden * state.mask) @ layer.linear2.weight
+    else:
+        hidden = arena.take("ffn_hidden", state.hidden_dense.shape)
+        np.copyto(hidden, state.hidden_dense)
+        hidden.ravel()[state.gather_indices] = recomputed
+        masked = np.multiply(
+            hidden, state.mask,
+            out=arena.take("ffn_masked", hidden.shape),
+        )
+        updates = np.matmul(
+            masked, layer.linear2.weight,
+            out=arena.take(
+                "ffn_updates",
+                hidden.shape[:-1] + (layer.linear2.weight.shape[1],),
+            ),
+        )
     return state.partial_sums + updates
 
 
@@ -559,9 +587,14 @@ def _ep_attention_step_batched(
     batch_stats: list,
     collect_keepmasks: bool = False,
     kv: Optional[tuple] = None,
+    arena: Optional[ExecArena] = None,
 ) -> np.ndarray:
     """Batched EP attention step, bit-identical to
-    :meth:`BatchedEagerPredictor.run` with cached weight operands."""
+    :meth:`BatchedEagerPredictor.run` with cached weight operands.
+
+    ``arena`` reuses the probability/attended scratch tensors across
+    iterations (zero-filled each call, bit-equal to ``np.zeros``;
+    neither escapes — the merged heads feed a fresh projection)."""
     kv_input = x if context is None else context
     batch, tq, _ = x.shape
     tk = kv_input.shape[1]
@@ -599,14 +632,16 @@ def _ep_attention_step_batched(
     has_keep = keep.any(axis=-1)
     oh_rows = one_hot_rows | ~has_keep
     normal_rows = ~oh_rows
-    probs = np.zeros((batch, heads, tq, tk))
+    probs = arena_zeros(arena, "ep_probs", (batch, heads, tq, tk))
     if np.any(normal_rows):
         probs[normal_rows] = softmax(masked[normal_rows], axis=-1)
 
     bb, hh, rr = np.nonzero(oh_rows)
     cc = one_hot_cols[bb, hh, rr]
     probs[bb, hh, rr, cc] = 1.0
-    attended = np.zeros((batch, heads, tq, layer.head_dim))
+    attended = arena_zeros(
+        arena, "ep_attended", (batch, heads, tq, layer.head_dim)
+    )
     attended[bb, hh, rr] = v[bb, hh, cc]
     # Row-subset GEMMs preserved per (request, head): BLAS kernel choice
     # depends on the row count, and with it the last ULP.

@@ -48,10 +48,11 @@ from repro.models.network import NetworkType
 from repro.models.pipeline import DiffusionResult
 from repro.models.scheduler import DDPMScheduler
 from repro.models.zoo import BenchmarkModel
-from repro.program.compiled import CompiledPlan, compile_plan
-from repro.program.lower import lower_plan
+from repro.program.cache import compiled_plan_for
+from repro.program.compiled import CompiledPlan
 from repro.serve.request import GenerationRequest
 
+from repro.exec.arena import ExecArena
 from repro.exec.batched import (
     _BatchedFFNPhaseState,
     _attach_geglu_indices,
@@ -129,9 +130,7 @@ class ContinuousExecutor:
         self.threshold_table = threshold_table
         self.activation_bits = activation_bits
         if compiled_plan is None:
-            compiled_plan = compile_plan(
-                lower_plan(model.spec, config=config, scale="sim")
-            )
+            compiled_plan = compiled_plan_for(model.spec, config)
         self.compiled_plan = compiled_plan
         self._timesteps, self._t_embeds, self._adaln_tables = (
             build_step_tables(model)
@@ -142,6 +141,10 @@ class ContinuousExecutor:
         #: server stamps ``observer.now`` before each tick (the executor
         #: has no clock of its own).
         self.observer = None
+        # Per-tick scratch reused across iterations and membership edits
+        # (see repro.exec.arena); the restack buffers below are keyed per
+        # block because every block's batch state is alive at once.
+        self._arena = ExecArena()
         # Batch-wide caches, valid only for one membership signature.
         self._membership: tuple = ()
         self._ffn_batch: dict = {}  # block -> _BatchedFFNPhaseState
@@ -240,14 +243,27 @@ class ContinuousExecutor:
             self._cross_kv = {}
             self._cross_exact_kv = {}
 
-        x = np.stack([r.x for r in runs])
+        # Per-tick latent/context stacks land in reusable arena buffers:
+        # the stack sources are always fresh per-run arrays (scheduler
+        # outputs, embeddings), never views of a previous tick's buffer.
+        x = np.stack(
+            [r.x for r in runs],
+            out=self._arena.take(
+                "tick_x", (len(runs),) + runs[0].x.shape
+            ),
+        )
         context = None
         if any(r.context is not None for r in runs):
             if any(r.context is None for r in runs):
                 raise PhaseSyncError(
                     "conditioned and unconditioned runs in one batch"
                 )
-            context = np.stack([r.context for r in runs])
+            context = np.stack(
+                [r.context for r in runs],
+                out=self._arena.take(
+                    "tick_context", (len(runs),) + runs[0].context.shape
+                ),
+            )
 
         count_iterations = self.config.enable_ffn_reuse
         eps = self._forward(x, runs, context)
@@ -404,7 +420,7 @@ class ContinuousExecutor:
                 self._cross_kv[block_index] = kv
         return _ep_attention_step_batched(
             layer, x, context, pred, self.config,
-            [run.stats for run in runs], kv=kv,
+            [run.stats for run in runs], kv=kv, arena=self._arena,
         )
 
     # ------------------------------------------------------------------
@@ -447,7 +463,9 @@ class ContinuousExecutor:
         batch_state = self._ffn_batch.get(block_index)
         if batch_state is None:
             batch_state = self._rebuild_ffn_batch(layer, block_index, runs)
-        out = _ffn_sparse_step_batched(layer, x, batch_state)
+        out = _ffn_sparse_step_batched(
+            layer, x, batch_state, arena=self._arena
+        )
         elements = batch_state.mask.shape[1] * batch_state.mask.shape[2]
         l1_cols_per_hidden = layer.linear1.out_features // layer.hidden_dim
         for run in runs:
@@ -479,12 +497,36 @@ class ContinuousExecutor:
                 "boundary?)"
             )
         states = [run.ffn[block_index] for run in runs]
-        mask = np.stack([s.mask for s in states])
+        # Restack targets are arena buffers keyed per block (every
+        # block's batch state is alive simultaneously); safe to reuse
+        # across edits because per-run slices always view the *dense
+        # compile's* arrays — never a previous restack output — so stack
+        # sources cannot alias their destination.
+        batch = len(states)
+        mask = np.stack(
+            [s.mask for s in states],
+            out=self._arena.take(
+                f"rebuild_mask[{block_index}]",
+                (batch,) + states[0].mask.shape, dtype=bool,
+            ),
+        )
         batch_state = _BatchedFFNPhaseState(
-            hidden_dense=np.stack([s.hidden_dense for s in states]),
+            hidden_dense=np.stack(
+                [s.hidden_dense for s in states],
+                out=self._arena.take(
+                    f"rebuild_hidden[{block_index}]",
+                    (batch,) + states[0].hidden_dense.shape,
+                ),
+            ),
             mask=mask,
             gather_indices=np.flatnonzero(mask.ravel()),
-            partial_sums=np.stack([s.partial_sums for s in states]),
+            partial_sums=np.stack(
+                [s.partial_sums for s in states],
+                out=self._arena.take(
+                    f"rebuild_partial[{block_index}]",
+                    (batch,) + states[0].partial_sums.shape,
+                ),
+            ),
             nnz_per_request=np.array([s.nnz for s in states]),
         )
         _attach_geglu_indices(layer, batch_state)

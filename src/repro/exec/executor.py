@@ -39,8 +39,10 @@ from repro.models.network import NetworkType
 from repro.models.pipeline import DiffusionResult
 from repro.models.transformer import TransformerBlock
 from repro.models.zoo import BenchmarkModel
-from repro.program.compiled import CompiledPlan, compile_plan
-from repro.program.lower import lower_plan
+from repro.program.cache import compiled_plan_for
+from repro.program.compiled import CompiledPlan
+
+from repro.exec.arena import ExecArena
 
 
 def build_step_tables(model: BenchmarkModel) -> tuple:
@@ -121,15 +123,15 @@ class CompiledExecutor:
         self.collect_masks = collect_masks
 
         if compiled_plan is None:
-            compiled_plan = compile_plan(
-                lower_plan(model.spec, config=config, scale="sim")
-            )
+            compiled_plan = compiled_plan_for(model.spec, config)
         self.compiled_plan = compiled_plan
 
         self._timesteps, self._t_embeds, self._adaln_tables = (
             build_step_tables(model)
         )
         self._preds = build_prediction_tables(model.network, config)
+        # Per-iteration scratch reused across steps (see repro.exec.arena).
+        self._arena = ExecArena()
 
     # ------------------------------------------------------------------
     # entry point
@@ -345,7 +347,7 @@ class CompiledExecutor:
                 stats.ffn_bitmasks.append(phase_state.bitmask)
             return out
         phase_state: FFNPhaseState = state.ffn_states[block_index]
-        out = ffn_sparse_step(layer, x, phase_state)
+        out = ffn_sparse_step(layer, x, phase_state, arena=self._arena)
         nnz = phase_state.nnz
         l1_cols_per_hidden = layer.linear1.out_features // layer.hidden_dim
         full_l1 = layer.linear1.macs(tokens)

@@ -227,9 +227,12 @@ class PointEvaluator:
             **{f: getattr(spec, f) for f in _SPEC_KNOBS.values()},
         })
         if key not in self._profile_memo:
-            from repro.hw.profile import estimate_profile
+            from repro.program.cache import get_plan_cache
 
-            self._profile_memo[key] = estimate_profile(
+            # Routed through the process-wide PlanCache: concurrent
+            # evaluators (and the cluster layer) pricing the same
+            # knob-adjusted spec share one ConMerge synthesis.
+            self._profile_memo[key] = get_plan_cache().profile(
                 spec,
                 seed=stable_seed(self.base_seed, "profile", spec.name),
             )
@@ -238,18 +241,22 @@ class PointEvaluator:
     def _hardware_objectives(
         self, model: str, point: dict, iterations: Optional[int]
     ) -> dict:
-        from repro.program import lower_plan
+        from repro.program.cache import get_plan_cache
 
+        cache = get_plan_cache()
         config = config_from_point(model, point)
         spec = spec_from_point(model, point)
-        plan = lower_plan(
+        # Lowering and pricing intern process-wide: a sweep that varies
+        # only fleet/hardware knobs compiles each model once, and equal
+        # (accelerator, plan, profile) keys replay one pricing.
+        plan = cache.plan(
             spec,
             config=config,
             iterations=iterations,
             batch=self.batch,
         )
-        report = accelerator_from_point(point).simulate_plan(
-            plan, self._profile(spec)
+        report = cache.price(
+            accelerator_from_point(point), plan, self._profile(spec)
         )
         return {
             "latency_s": report.latency_s,

@@ -33,9 +33,9 @@ from repro.hw.energy import (
     TOTAL_DSC_POWER_MW,
     apportion_op_class_energy,
 )
-from repro.hw.profile import SparsityProfile, estimate_profile
+from repro.hw.profile import SparsityProfile
+from repro.program.cache import get_plan_cache
 from repro.program.ir import PhasePlan
-from repro.program.lower import lower_plan
 from repro.workloads.specs import ModelSpec
 
 #: Paper Table II: per-DSC normalized throughput.
@@ -211,20 +211,23 @@ class ExionAccelerator:
     ) -> AcceleratorReport:
         """Simulate one full generation of ``spec`` on this instance.
 
-        Convenience wrapper: lowers the spec through
-        :func:`repro.program.lower.lower_plan` and prices the plan with
+        Convenience wrapper: lowers the spec through the process-wide
+        :class:`~repro.program.cache.PlanCache` (plan, profile and
+        pricing are all interned — repeated simulations of equal keys
+        replay one cold computation) and prices the plan with
         :meth:`simulate_plan`.
         """
+        cache = get_plan_cache()
         if profile is None:
-            profile = estimate_profile(spec)
-        plan = lower_plan(
+            profile = cache.profile(spec)
+        plan = cache.plan(
             spec,
             enable_ffn_reuse=enable_ffn_reuse,
             enable_eager_prediction=enable_eager_prediction,
             iterations=iterations,
             batch=batch,
         )
-        return self.simulate_plan(plan, profile)
+        return cache.price(self, plan, profile)
 
     def simulate_plan(
         self,

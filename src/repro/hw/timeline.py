@@ -15,8 +15,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.hw.accelerator import ExionAccelerator
-from repro.hw.profile import SparsityProfile, estimate_profile
-from repro.program.lower import lower_plan
+from repro.hw.profile import SparsityProfile
 from repro.workloads.specs import ModelSpec
 
 
@@ -100,10 +99,18 @@ def simulate_timeline(
     batch: int = 1,
     iterations: Optional[int] = None,
 ) -> Timeline:
-    """Per-iteration records of one simulated generation."""
+    """Per-iteration records of one simulated generation.
+
+    The lowering and profile synthesis go through the process-wide
+    :class:`~repro.program.cache.PlanCache`, so a timeline over an
+    already-priced configuration re-lowers nothing.
+    """
+    from repro.program.cache import get_plan_cache
+
+    cache = get_plan_cache()
     if profile is None:
-        profile = estimate_profile(spec)
-    plan = lower_plan(
+        profile = cache.profile(spec)
+    plan = cache.plan(
         spec,
         enable_ffn_reuse=enable_ffn_reuse,
         enable_eager_prediction=enable_eager_prediction,

@@ -31,6 +31,15 @@ Quickstart::
 or from the command line: ``python -m repro program --model dit --json``.
 """
 
+from repro.program.cache import (
+    PlanCache,
+    compiled_plan_for,
+    fresh_plan_cache,
+    get_plan_cache,
+    plan_for,
+    reset_plan_cache,
+    set_plan_cache,
+)
 from repro.program.compiled import (
     CompiledPlan,
     CompiledStep,
@@ -78,6 +87,7 @@ __all__ = [
     "PhasePlan",
     "PhaseSegment",
     "PhaseStep",
+    "PlanCache",
     "SIM_CONTEXT_TOKENS",
     "TILE_ROWS",
     "TILE_WIDTH",
@@ -85,6 +95,9 @@ __all__ = [
     "block_ops",
     "canonical_json",
     "compile_plan",
+    "compiled_plan_for",
+    "fresh_plan_cache",
+    "get_plan_cache",
     "lower_plan",
     "lower_program",
     "op_from_dict",

@@ -1,0 +1,586 @@
+"""Process-wide, content-addressed plan cache: compile once, price once.
+
+Every layer of the stack used to independently re-run the same pure
+pipeline — :func:`~repro.program.lower.lower_plan` →
+:func:`~repro.program.compiled.compile_plan` →
+:meth:`~repro.hw.accelerator.ExionAccelerator.simulate_plan` — for
+identical ``(spec, config, ablation flags, scale)`` keys: every executor
+re-lowered on construction, every cluster replica re-priced the same
+plans, every explore point paid full cold compilation even when only
+fleet knobs changed. The :class:`PlanCache` interns those artifacts once
+per process:
+
+- **plan** — lowered :class:`~repro.program.ir.PhasePlan` objects;
+- **compiled** — :class:`~repro.program.compiled.CompiledPlan`
+  schedules (structural, derived purely from the plan);
+- **pricing** — :class:`~repro.hw.accelerator.AcceleratorReport`
+  results of ``simulate_plan`` keyed by the accelerator + sparsity
+  profile fingerprints and the plan itself;
+- **profile** — :func:`~repro.hw.profile.estimate_profile` synthesis
+  (the dominant cold-path cost: ConMerge passes over sampled tiles).
+
+Keys are content-addressed — the same canonical key material as
+:func:`~repro.program.encode.plan_digest` (spec document + config
+document + ablation flags + schedule shape + scale) — so equal inputs
+share one artifact no matter which layer asks, and knob-modified specs
+(the explore path) never collide with their base model.
+
+An optional **disk tier** (``cache_dir=...`` or the
+``REPRO_PLAN_CACHE_DIR`` environment variable for the global cache)
+persists plans, pricings and profiles across processes using the same
+idiom as the explore runner cache: entries live at
+``cache_dir/<sha256[:2]>/<sha256>.json``, writes are atomic
+(temp file + ``os.replace``), and corrupt or torn entries are treated
+as misses and transparently rewritten. Compiled schedules are memory
+only — recompiling from an interned plan is cheap and pure.
+
+Everything returned is either immutable (plans, compiled plans) or a
+defensive copy (reports, profiles), so cached and cold paths stay
+byte-identical. Hit/miss counters per tier can be published into a
+:class:`repro.obs.metrics.MetricsRegistry` via
+:meth:`PlanCache.publish_metrics`; publication is explicit (never
+auto-attached to scenario observers) so process-global cache state can
+never leak into deterministic run artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Optional
+
+from repro.program.compiled import CompiledPlan, compile_plan
+from repro.program.encode import plan_from_dict, plan_to_dict
+from repro.program.ir import PhasePlan
+from repro.program.lower import lower_plan
+from repro.workloads.specs import ModelSpec
+
+#: Tier names, in lookup-cost order (also the metrics label vocabulary).
+TIERS = ("plan", "compiled", "pricing", "profile")
+
+#: Environment variable enabling the global cache's disk tier.
+CACHE_DIR_ENV = "REPRO_PLAN_CACHE_DIR"
+
+
+def _doc(value) -> object:
+    """JSON-safe document of one key component (dataclasses included)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **dataclasses.asdict(value),
+        }
+    if isinstance(value, (list, tuple)):
+        return [_doc(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _doc(v) for k, v in sorted(value.items())}
+    raise TypeError(f"unsupported cache key component: {value!r}")
+
+
+def _digest(doc: dict) -> str:
+    """SHA-256 of the canonical JSON encoding of a key document."""
+    payload = json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _accelerator_doc(accelerator) -> dict:
+    """Content fingerprint of an accelerator configuration.
+
+    Covers everything :meth:`simulate_plan` reads: the DSC count, clock,
+    GSC capacity and the full DRAM model (bandwidth, per-bit energy,
+    burst latency). Duck-typed so this module never imports ``repro.hw``
+    at module scope.
+    """
+    return {
+        "name": accelerator.name,
+        "num_dscs": accelerator.num_dscs,
+        "clock_hz": accelerator.clock_hz,
+        "gsc_bytes": accelerator.gsc_bytes,
+        "dram": _doc(accelerator.dram),
+    }
+
+
+def _freeze(doc) -> object:
+    """Hashable mirror of a JSON-safe key document."""
+    if isinstance(doc, dict):
+        return tuple((k, _freeze(v)) for k, v in sorted(doc.items()))
+    if isinstance(doc, (list, tuple)):
+        return tuple(_freeze(v) for v in doc)
+    return doc
+
+
+class PlanCache:
+    """Interns lowered plans, compiled schedules, pricings and profiles."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self._lock = threading.RLock()
+        self._plans: dict = {}
+        self._compiled: dict = {}
+        self._pricing: dict = {}
+        self._profiles: dict = {}
+        self.tier_hits = {tier: 0 for tier in TIERS}
+        self.tier_misses = {tier: 0 for tier in TIERS}
+        self.disk_hits = 0
+        self.disk_misses = 0
+        # Per-registry published counts: publish_metrics increments each
+        # registry by the delta since its last publication, so repeated
+        # publications never double-count.
+        self._published: dict = {}
+
+    # ------------------------------------------------------------------
+    # plan tier
+    # ------------------------------------------------------------------
+    def _plan_key(
+        self,
+        spec: ModelSpec,
+        config,
+        enable_ffn_reuse: bool,
+        enable_eager_prediction: bool,
+        iterations: Optional[int],
+        batch: int,
+        scale: str,
+    ) -> dict:
+        return {
+            "kind": "plan",
+            "spec": _doc(spec),
+            "config": _doc(config),
+            "ablation": {
+                "enable_ffn_reuse": enable_ffn_reuse,
+                "enable_eager_prediction": enable_eager_prediction,
+            },
+            "iterations": iterations,
+            "batch": batch,
+            "scale": scale,
+        }
+
+    def plan(
+        self,
+        spec: ModelSpec,
+        config=None,
+        enable_ffn_reuse: bool = True,
+        enable_eager_prediction: bool = True,
+        iterations: Optional[int] = None,
+        batch: int = 1,
+        scale: str = "paper",
+    ) -> PhasePlan:
+        """Memoized :func:`~repro.program.lower.lower_plan`."""
+        doc = self._plan_key(
+            spec, config, enable_ffn_reuse, enable_eager_prediction,
+            iterations, batch, scale,
+        )
+        key = _freeze(doc)
+        with self._lock:
+            cached = self._plans.get(key)
+        if cached is not None:
+            self._record("plan", True)
+            return cached
+        self._record("plan", False)
+        plan = None
+        stored = self._disk_load(doc)
+        if stored is not None:
+            try:
+                plan = plan_from_dict(stored)
+            except (KeyError, TypeError, ValueError):
+                plan = None  # corrupt entry: recompute and rewrite
+        if plan is None:
+            plan = lower_plan(
+                spec,
+                config=config,
+                enable_ffn_reuse=enable_ffn_reuse,
+                enable_eager_prediction=enable_eager_prediction,
+                iterations=iterations,
+                batch=batch,
+                scale=scale,
+            )
+            self._disk_store(doc, plan_to_dict(plan))
+        with self._lock:
+            self._plans.setdefault(key, plan)
+            return self._plans[key]
+
+    # ------------------------------------------------------------------
+    # compiled tier (memory only: pure + cheap from an interned plan)
+    # ------------------------------------------------------------------
+    def compiled(
+        self,
+        spec: ModelSpec,
+        config=None,
+        enable_ffn_reuse: bool = True,
+        enable_eager_prediction: bool = True,
+        iterations: Optional[int] = None,
+        batch: int = 1,
+        scale: str = "sim",
+    ) -> CompiledPlan:
+        """Memoized ``compile_plan(lower_plan(...))``.
+
+        The returned :class:`~repro.program.compiled.CompiledPlan` is
+        frozen and shared: every executor bound to the same
+        ``(spec, config, schedule, scale)`` reuses one schedule object.
+        """
+        doc = self._plan_key(
+            spec, config, enable_ffn_reuse, enable_eager_prediction,
+            iterations, batch, scale,
+        )
+        key = _freeze(doc)
+        with self._lock:
+            cached = self._compiled.get(key)
+        if cached is not None:
+            self._record("compiled", True)
+            return cached
+        self._record("compiled", False)
+        compiled = compile_plan(self.plan(
+            spec,
+            config=config,
+            enable_ffn_reuse=enable_ffn_reuse,
+            enable_eager_prediction=enable_eager_prediction,
+            iterations=iterations,
+            batch=batch,
+            scale=scale,
+        ))
+        with self._lock:
+            self._compiled.setdefault(key, compiled)
+            return self._compiled[key]
+
+    # ------------------------------------------------------------------
+    # pricing tier
+    # ------------------------------------------------------------------
+    def price(self, accelerator, plan: PhasePlan, profile):
+        """Memoized ``accelerator.simulate_plan(plan, profile)``.
+
+        Keyed by the accelerator fingerprint, the plan content and the
+        profile field values; returns a defensive copy each call (the
+        report is a mutable dataclass carrying breakdown dicts).
+        """
+        acc_doc = _accelerator_doc(accelerator)
+        profile_doc = _doc(profile)
+        key = (_freeze(acc_doc), plan, _freeze(profile_doc))
+        with self._lock:
+            cached = self._pricing.get(key)
+        if cached is not None:
+            self._record("pricing", True)
+            return self._copy_report(cached)
+        self._record("pricing", False)
+        report = None
+        doc = None
+        if self.cache_dir is not None:
+            from repro.program.encode import plan_digest
+
+            doc = {
+                "kind": "pricing",
+                "accelerator": acc_doc,
+                "profile": profile_doc,
+                "plan_digest": plan_digest(plan),
+            }
+            stored = self._disk_load(doc)
+            if stored is not None:
+                try:
+                    report = self._report_from_doc(stored)
+                except (KeyError, TypeError, ValueError):
+                    report = None
+        if report is None:
+            report = accelerator.simulate_plan(plan, profile)
+            if doc is not None:
+                self._disk_store(doc, self._report_doc(report))
+        with self._lock:
+            self._pricing.setdefault(key, report)
+            report = self._pricing[key]
+        return self._copy_report(report)
+
+    @staticmethod
+    def _report_doc(report) -> dict:
+        return {
+            field.name: getattr(report, field.name)
+            for field in dataclasses.fields(report)
+        }
+
+    @staticmethod
+    def _report_from_doc(doc: dict):
+        from repro.hw.accelerator import AcceleratorReport
+
+        fields = {f.name for f in dataclasses.fields(AcceleratorReport)}
+        if set(doc) != fields:
+            raise ValueError("pricing entry fields do not match the report")
+        return AcceleratorReport(**doc)
+
+    @staticmethod
+    def _copy_report(report):
+        return dataclasses.replace(
+            report,
+            energy_breakdown_j=dict(report.energy_breakdown_j),
+            op_class_energy_j=dict(report.op_class_energy_j),
+        )
+
+    # ------------------------------------------------------------------
+    # profile tier
+    # ------------------------------------------------------------------
+    def profile(self, spec: ModelSpec, seed: int = 0, **kwargs):
+        """Memoized :func:`~repro.hw.profile.estimate_profile`.
+
+        The synthesis (mask generation + real ConMerge passes) dominates
+        cold fleet setup, so equal ``(spec fields, seed, sampling
+        knobs)`` share one estimate across every replica and explore
+        point. Returns a copy: :class:`~repro.hw.profile.SparsityProfile`
+        is a mutable dataclass and callers may adjust theirs.
+        """
+        doc = {
+            "kind": "profile",
+            "spec": _doc(spec),
+            "seed": seed,
+            "kwargs": _doc(kwargs),
+        }
+        key = _freeze(doc)
+        with self._lock:
+            cached = self._profiles.get(key)
+        if cached is not None:
+            self._record("profile", True)
+            return dataclasses.replace(cached)
+        self._record("profile", False)
+        from repro.hw.profile import SparsityProfile, estimate_profile
+
+        profile = None
+        stored = self._disk_load(doc)
+        if stored is not None:
+            try:
+                profile = SparsityProfile(**stored)
+            except (TypeError, ValueError):
+                profile = None
+        if profile is None:
+            profile = estimate_profile(spec, seed=seed, **kwargs)
+            self._disk_store(doc, dataclasses.asdict(profile))
+        with self._lock:
+            self._profiles.setdefault(key, profile)
+            profile = self._profiles[key]
+        return dataclasses.replace(profile)
+
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+    def _entry_path(self, doc: dict) -> Path:
+        key = _digest(doc)
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def _disk_load(self, doc: dict) -> Optional[dict]:
+        if self.cache_dir is None:
+            return None
+        path = self._entry_path(doc)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            # Missing, unreadable, or a torn write from a crashed run:
+            # treat as a miss; the recompute rewrites the entry.
+            self.disk_misses += 1
+            return None
+        payload = data.get("payload") if isinstance(data, dict) else None
+        if not isinstance(payload, dict):
+            self.disk_misses += 1
+            return None
+        self.disk_hits += 1
+        return payload
+
+    def _disk_store(self, doc: dict, payload: dict) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._entry_path(doc)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            body = json.dumps(
+                {"key": doc, "payload": payload},
+                sort_keys=True, separators=(",", ":"), allow_nan=False,
+            )
+            tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+            tmp.write_text(body + "\n", encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            pass  # a read-only or full disk degrades to memory-only
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def _record(self, tier: str, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.tier_hits[tier] += 1
+            else:
+                self.tier_misses[tier] += 1
+
+    @property
+    def hits(self) -> int:
+        return sum(self.tier_hits.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(self.tier_misses.values())
+
+    def stats(self) -> dict:
+        """Occupancy and hit statistics, keys sorted for stable diffs."""
+        with self._lock:
+            info = {
+                "plans": len(self._plans),
+                "compiled": len(self._compiled),
+                "pricings": len(self._pricing),
+                "profiles": len(self._profiles),
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
+            }
+            for tier in TIERS:
+                info[f"{tier}_hits"] = self.tier_hits[tier]
+                info[f"{tier}_misses"] = self.tier_misses[tier]
+        return dict(sorted(info.items()))
+
+    def publish_metrics(self, registry) -> None:
+        """Publish counters/gauges into an obs metrics registry.
+
+        ``repro_plan_cache_lookups_total{tier,outcome}`` counters and
+        ``repro_plan_cache_entries{tier}`` gauges. Incremental per
+        registry: repeated publications add only the delta since the
+        last call, so periodic scraping never double-counts. Publication
+        is explicit — the cache never attaches itself to an observer, so
+        scenario artifacts stay independent of process-global state.
+        """
+        lookups = registry.counter(
+            "repro_plan_cache_lookups_total",
+            "PlanCache lookups by tier and outcome",
+            labels=("tier", "outcome"),
+        )
+        entries = registry.gauge(
+            "repro_plan_cache_entries",
+            "Interned artifacts per PlanCache tier",
+            labels=("tier",),
+        )
+        with self._lock:
+            seen = self._published.setdefault(id(registry), {})
+            counts = {
+                "hit": dict(self.tier_hits),
+                "miss": dict(self.tier_misses),
+            }
+            counts["hit"]["disk"] = self.disk_hits
+            counts["miss"]["disk"] = self.disk_misses
+            sizes = {
+                "plan": len(self._plans),
+                "compiled": len(self._compiled),
+                "pricing": len(self._pricing),
+                "profile": len(self._profiles),
+            }
+        for outcome, per_tier in sorted(counts.items()):
+            for tier, count in sorted(per_tier.items()):
+                delta = count - seen.get((tier, outcome), 0)
+                if delta > 0:
+                    lookups.inc(delta, tier=tier, outcome=outcome)
+                seen[(tier, outcome)] = count
+        for tier, size in sorted(sizes.items()):
+            entries.set(size, tier=tier)
+
+    def clear(self) -> None:
+        """Drop every interned artifact (counters are kept)."""
+        with self._lock:
+            self._plans.clear()
+            self._compiled.clear()
+            self._pricing.clear()
+            self._profiles.clear()
+
+
+# ----------------------------------------------------------------------
+# the process-global cache
+# ----------------------------------------------------------------------
+_global_cache: Optional[PlanCache] = None
+_global_lock = threading.Lock()
+
+
+def get_plan_cache() -> PlanCache:
+    """The process-wide cache every construction site shares.
+
+    Created lazily; the ``REPRO_PLAN_CACHE_DIR`` environment variable
+    (read at first use) enables its disk tier.
+    """
+    global _global_cache
+    with _global_lock:
+        if _global_cache is None:
+            _global_cache = PlanCache(
+                cache_dir=os.environ.get(CACHE_DIR_ENV) or None
+            )
+        return _global_cache
+
+
+def set_plan_cache(cache: PlanCache) -> PlanCache:
+    """Install ``cache`` as the process-global cache; returns the old one."""
+    global _global_cache
+    with _global_lock:
+        old, _global_cache = _global_cache, cache
+    return old if old is not None else cache
+
+
+def reset_plan_cache(cache_dir: Optional[str] = None) -> PlanCache:
+    """Replace the global cache with a fresh (empty) one."""
+    cache = PlanCache(cache_dir=cache_dir)
+    set_plan_cache(cache)
+    return cache
+
+
+@contextmanager
+def fresh_plan_cache(cache_dir: Optional[str] = None):
+    """Temporarily swap in an empty global cache (bench/test isolation)."""
+    global _global_cache
+    with _global_lock:
+        previous = _global_cache
+        _global_cache = PlanCache(cache_dir=cache_dir)
+        cache = _global_cache
+    try:
+        yield cache
+    finally:
+        with _global_lock:
+            _global_cache = previous
+
+
+# ----------------------------------------------------------------------
+# shared construction helpers (the deduplicated executor fallback)
+# ----------------------------------------------------------------------
+def plan_for(
+    spec: ModelSpec,
+    config=None,
+    iterations: Optional[int] = None,
+    batch: int = 1,
+    scale: str = "sim",
+) -> PhasePlan:
+    """Lower (or reuse) a plan through the global cache."""
+    return get_plan_cache().plan(
+        spec, config=config, iterations=iterations, batch=batch, scale=scale
+    )
+
+
+def compiled_plan_for(
+    spec: ModelSpec,
+    config=None,
+    iterations: Optional[int] = None,
+    scale: str = "sim",
+) -> CompiledPlan:
+    """The one shared executor fallback: a cached compiled sim-scale plan.
+
+    Replaces the ``compile_plan(lower_plan(...))`` blocks that every
+    executor (and the dry-run continuous server) used to duplicate.
+    """
+    return get_plan_cache().compiled(
+        spec, config=config, iterations=iterations, scale=scale
+    )
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "PlanCache",
+    "TIERS",
+    "compiled_plan_for",
+    "fresh_plan_cache",
+    "get_plan_cache",
+    "plan_for",
+    "reset_plan_cache",
+    "set_plan_cache",
+]

@@ -17,6 +17,12 @@ Three memo levels, from coarse to fine:
 - **pipelines** — fully keyed, returning ready
   :class:`~repro.serve.batched.BatchedPipeline` instances.
 
+Each level is an LRU: pass ``capacity`` to bound the number of entries
+kept per level (``None``, the default, keeps everything, matching the
+historical unbounded behaviour). Lookups refresh recency; insertions past
+capacity evict the least-recently-used entry of that level, counted in
+``evictions``/``level_evictions`` and surfaced through :meth:`info`.
+
 Cached models are shared objects: callers must not mutate their weights
 (e.g. via ``repro.quant.apply_ptq``) — quantized serving is expressed with
 the ``activation_bits`` pipeline knob instead.
@@ -24,6 +30,7 @@ the ``activation_bits`` pipeline knob instead.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional
 
 from repro.core.config import ExionConfig
@@ -33,18 +40,27 @@ from repro.serve.batched import BatchedPipeline
 
 
 class ThresholdCache:
-    """Memoizes built models, calibrated tables and batched pipelines."""
+    """Memoizes built models, calibrated tables and batched pipelines.
 
-    def __init__(self) -> None:
-        self._models: dict = {}
-        self._tables: dict = {}
-        self._pipelines: dict = {}
+    ``capacity`` bounds each memo level independently (LRU eviction);
+    ``None`` leaves every level unbounded.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._models: OrderedDict = OrderedDict()
+        self._tables: OrderedDict = OrderedDict()
+        self._pipelines: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
-        # Per-memo-level hit/miss counts, surfaced through info() (and
-        # therefore ServeReport) and the obs metrics registry.
+        self.evictions = 0
+        # Per-memo-level hit/miss/eviction counts, surfaced through info()
+        # (and therefore ServeReport) and the obs metrics registry.
         self.level_hits = {"model": 0, "table": 0, "pipeline": 0}
         self.level_misses = {"model": 0, "table": 0, "pipeline": 0}
+        self.level_evictions = {"model": 0, "table": 0, "pipeline": 0}
         #: Optional :class:`repro.obs.observer.Observer`.
         self.observer = None
 
@@ -58,6 +74,23 @@ class ThresholdCache:
         if self.observer is not None:
             self.observer.on_cache_lookup(level, hit)
 
+    def _touch(self, level: str, memo: OrderedDict, key) -> bool:
+        """Record a lookup; on hit refresh the key's recency."""
+        hit = key in memo
+        if hit:
+            memo.move_to_end(key)
+        self._record(level, hit)
+        return hit
+
+    def _insert(self, level: str, memo: OrderedDict, key, value) -> None:
+        """Insert as most-recent, evicting the LRU entry past capacity."""
+        memo[key] = value
+        memo.move_to_end(key)
+        if self.capacity is not None and len(memo) > self.capacity:
+            memo.popitem(last=False)
+            self.evictions += 1
+            self.level_evictions[level] += 1
+
     # ------------------------------------------------------------------
     # memo levels
     # ------------------------------------------------------------------
@@ -70,14 +103,12 @@ class ThresholdCache:
     ) -> BenchmarkModel:
         """Build (or reuse) a benchmark model."""
         key = model_cache_key(name, seed, total_iterations, depth)
-        if key in self._models:
-            self._record("model", True)
+        if self._touch("model", self._models, key):
             return self._models[key]
-        self._record("model", False)
         built = build_model(
             name, seed=seed, total_iterations=total_iterations, depth=depth
         )
-        self._models[key] = built
+        self._insert("model", self._models, key, built)
         return built
 
     def table(
@@ -100,17 +131,15 @@ class ThresholdCache:
             config.ffn_target_sparsity,
             calibration_seed,
         )
-        if key in self._tables:
-            self._record("table", True)
+        if self._touch("table", self._tables, key):
             return self._tables[key]
-        self._record("table", False)
         model = self.model(name, model_seed, total_iterations, depth)
         calibrator = ThresholdCalibrator(
             target_sparsity=config.ffn_target_sparsity,
             dense_period=config.sparse_iters_n + 1,
         )
         table = calibrator.calibrate(model, seed=calibration_seed)
-        self._tables[key] = table
+        self._insert("table", self._tables, key, table)
         return table
 
     def pipeline(
@@ -138,10 +167,8 @@ class ThresholdCache:
             calibrate,
             calibration_seed if calibrate else None,
         )
-        if key in self._pipelines:
-            self._record("pipeline", True)
+        if self._touch("pipeline", self._pipelines, key):
             return self._pipelines[key]
-        self._record("pipeline", False)
         model = self.model(name, model_seed, total_iterations, depth)
         table = None
         if calibrate and config.enable_ffn_reuse:
@@ -153,7 +180,7 @@ class ThresholdCache:
             model, config, threshold_table=table,
             activation_bits=activation_bits,
         )
-        self._pipelines[key] = pipeline
+        self._insert("pipeline", self._pipelines, key, pipeline)
         return pipeline
 
     # ------------------------------------------------------------------
@@ -167,10 +194,13 @@ class ThresholdCache:
             "pipelines": len(self._pipelines),
             "hits": self.hits,
             "misses": self.misses,
+            "capacity": -1 if self.capacity is None else self.capacity,
+            "evictions": self.evictions,
         }
         for level in self.level_hits:
             info[f"{level}_hits"] = self.level_hits[level]
             info[f"{level}_misses"] = self.level_misses[level]
+            info[f"{level}_evictions"] = self.level_evictions[level]
         return dict(sorted(info.items()))
 
     def clear(self) -> None:

@@ -46,8 +46,7 @@ from typing import Callable, Mapping, Optional
 
 from repro.core.config import ExionConfig
 from repro.core.sparsity import RunStats
-from repro.program.compiled import compile_plan
-from repro.program.lower import lower_plan
+from repro.program.cache import compiled_plan_for
 from repro.serve.cache import ThresholdCache
 from repro.serve.request import GenerationRequest, Priority, RequestResult
 from repro.serve.server import ServeReport
@@ -380,11 +379,8 @@ class ContinuousServer:
         if dry_run:
             self._executor = None
             spec = get_spec(model_name)
-            self.plan = compile_plan(
-                lower_plan(
-                    spec, config=self.config, iterations=total_iterations,
-                    scale="sim",
-                )
+            self.plan = compiled_plan_for(
+                spec, self.config, iterations=total_iterations
             )
         else:
             self._executor = self._build_executor()

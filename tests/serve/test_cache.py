@@ -29,9 +29,10 @@ class TestModelMemo:
         assert cache.info()["models"] == 1
         assert cache.info() == {
             "models": 1, "tables": 0, "pipelines": 0, "hits": 1, "misses": 1,
-            "model_hits": 1, "model_misses": 1,
-            "table_hits": 0, "table_misses": 0,
-            "pipeline_hits": 0, "pipeline_misses": 0,
+            "capacity": -1, "evictions": 0,
+            "model_hits": 1, "model_misses": 1, "model_evictions": 0,
+            "table_hits": 0, "table_misses": 0, "table_evictions": 0,
+            "pipeline_hits": 0, "pipeline_misses": 0, "pipeline_evictions": 0,
         }
         # keys come out sorted so diffs of two runs line up
         assert list(cache.info()) == sorted(cache.info())
@@ -124,3 +125,60 @@ class TestPipelineMemo:
         cache.clear()
         info = cache.info()
         assert (info["models"], info["tables"], info["pipelines"]) == (0, 0, 0)
+
+
+class TestLRUCapacity:
+    def test_unbounded_by_default(self):
+        cache = ThresholdCache()
+        assert cache.capacity is None
+        for seed in range(4):
+            cache.model("dit", seed=seed, **FAST)
+        assert cache.info()["models"] == 4
+        assert cache.info()["evictions"] == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdCache(capacity=0)
+
+    def test_eviction_past_capacity(self):
+        cache = ThresholdCache(capacity=2)
+        a = cache.model("dit", seed=0, **FAST)
+        cache.model("dit", seed=1, **FAST)
+        cache.model("dit", seed=2, **FAST)  # evicts seed=0
+        info = cache.info()
+        assert info["models"] == 2
+        assert info["evictions"] == 1
+        assert info["model_evictions"] == 1
+        # seed=0 was evicted: re-requesting it is a miss and a rebuild
+        rebuilt = cache.model("dit", seed=0, **FAST)
+        assert rebuilt is not a
+
+    def test_hit_refreshes_recency(self):
+        cache = ThresholdCache(capacity=2)
+        a = cache.model("dit", seed=0, **FAST)
+        cache.model("dit", seed=1, **FAST)
+        cache.model("dit", seed=0, **FAST)  # refresh seed=0 → seed=1 is LRU
+        cache.model("dit", seed=2, **FAST)  # evicts seed=1, not seed=0
+        assert cache.model("dit", seed=0, **FAST) is a
+        assert cache.level_evictions["model"] == 1
+
+    def test_each_level_bounded_independently(self):
+        cache = ThresholdCache(capacity=1)
+        config = ExionConfig.for_model("dit")
+        cache.pipeline("dit", config, **FAST)
+        cache.pipeline("dit", config.ablation("ffnr"), **FAST)
+        info = cache.info()
+        # one model (same key both times) but two pipeline insertions
+        assert info["models"] == 1
+        assert info["pipelines"] == 1
+        assert info["pipeline_evictions"] == 1
+        assert info["model_evictions"] == 0
+
+    def test_eviction_counts_in_summary_flow(self):
+        cache = ThresholdCache(capacity=1)
+        cache.model("dit", seed=0, **FAST)
+        cache.model("dit", seed=1, **FAST)
+        info = cache.info()
+        assert info["capacity"] == 1
+        assert info["evictions"] == 1
+        assert list(info) == sorted(info)
